@@ -1,0 +1,54 @@
+"""Figures 10-11: the three Agrawal-Horgan dynamic slicing algorithms.
+
+Benchmarks each approach on the paper's 14-statement example and
+asserts the three published slices: the approaches form a strict
+precision hierarchy (A3 ⊆ A2 ⊆ A1), with statement 10 excluded by all,
+statement 3 excluded by A2/A3, and statement 8 excluded only by A3.
+"""
+
+from conftest import emit
+
+from repro.analysis import DynamicSlicer, TimestampSet
+from repro.bench import fig10_slicing
+from repro.trace import collect_wpp, partition_wpp
+from repro.workloads import (
+    FIGURE10_INPUTS,
+    FIGURE10_SLICE_APPROACH1,
+    FIGURE10_SLICE_APPROACH2,
+    FIGURE10_SLICE_APPROACH3,
+    figure10_program,
+)
+
+
+def _slicer():
+    program = figure10_program()
+    trace = partition_wpp(
+        collect_wpp(program, inputs=FIGURE10_INPUTS)
+    ).traces[0][0]
+    return DynamicSlicer(program.function("main"), trace)
+
+
+def test_fig10_approach1(benchmark):
+    slicer = _slicer()
+    result = benchmark(lambda: slicer.slice_approach1(14, ["Z"]))
+    assert result.slice_nodes == FIGURE10_SLICE_APPROACH1
+
+
+def test_fig10_approach2(benchmark):
+    slicer = _slicer()
+    result = benchmark(
+        lambda: slicer.slice_approach2(14, ["Z"], TimestampSet.single(30))
+    )
+    assert result.slice_nodes == FIGURE10_SLICE_APPROACH2
+
+
+def test_fig10_approach3(benchmark, results_dir):
+    slicer = _slicer()
+    result = benchmark(
+        lambda: slicer.slice_approach3(14, ["Z"], TimestampSet.single(30))
+    )
+    assert result.slice_nodes == FIGURE10_SLICE_APPROACH3
+    assert FIGURE10_SLICE_APPROACH3 < FIGURE10_SLICE_APPROACH2
+    assert FIGURE10_SLICE_APPROACH2 < FIGURE10_SLICE_APPROACH1
+
+    emit(results_dir, "fig10_slicing", fig10_slicing())

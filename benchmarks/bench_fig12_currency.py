@@ -1,0 +1,42 @@
+"""Figure 12: dynamic currency determination.
+
+Benchmarks the currency query on both executed paths of the paper's
+diamond and asserts the published verdicts: X is current when the path
+went through the block holding the sunk assignment, non-current
+otherwise.
+"""
+
+from conftest import emit
+
+from repro.analysis import DefPlacement, TimestampedCfg, determine_currency
+from repro.bench import fig12_currency
+from repro.trace import collect_wpp, partition_wpp
+from repro.workloads import (
+    FIGURE12_OPTIMIZED_DEFS,
+    FIGURE12_ORIGINAL_DEFS,
+    figure12_program,
+)
+
+
+def test_fig12_currency(benchmark, results_dir):
+    program = figure12_program()
+    cfgs = {}
+    for cond in (0, 1):
+        trace = partition_wpp(collect_wpp(program, args=[cond])).traces[0][0]
+        cfgs[cond] = TimestampedCfg.from_trace(trace)
+    original = DefPlacement.of(FIGURE12_ORIGINAL_DEFS)
+    optimized = DefPlacement.of(FIGURE12_OPTIMIZED_DEFS)
+
+    def both():
+        return {
+            cond: determine_currency(
+                cfg, "X", 3, cfg.ts(3).min(), original, optimized
+            )
+            for cond, cfg in cfgs.items()
+        }
+
+    results = benchmark(both)
+    assert results[1].current is True
+    assert results[0].current is False
+
+    emit(results_dir, "fig12_currency", fig12_currency())

@@ -1,0 +1,34 @@
+"""Figure 8: trace redundancy CDF.
+
+Regenerates the cumulative distribution of calls over unique-trace
+counts and asserts its qualitative shape: the scripting/interpreter
+analogues (li, ijpeg, perl) concentrate most calls on functions with
+very few unique traces, while the go analogue's curve rises latest.
+"""
+
+from conftest import emit
+
+from repro.bench import fig8_redundancy
+
+
+def test_fig8_redundancy(benchmark, artifacts, results_dir):
+    table = benchmark.pedantic(
+        lambda: fig8_redundancy(artifacts), rounds=3, iterations=1
+    )
+    emit(results_dir, "fig8_redundancy", table)
+
+    by_name = {row["name"]: row for row in table.data}
+    # Paper: 57-80% of li/ijpeg/perl calls go to functions with <=5
+    # unique traces.
+    for name in ("li-like", "ijpeg-like", "perl-like"):
+        assert by_name[name]["pct_le_5"] > 50, by_name[name]
+    # go saturates latest (its functions have the most unique traces).
+    for bucket in (1, 2, 5):
+        key = f"pct_le_{bucket}"
+        assert by_name["go-like"][key] == min(
+            row[key] for row in table.data
+        )
+    # Everything is monotone non-decreasing along the buckets.
+    for row in table.data:
+        values = [row[f"pct_le_{n}"] for n in (1, 2, 5, 10, 25, 50, 100)]
+        assert values == sorted(values)

@@ -1,0 +1,35 @@
+"""Figure 9: demand-driven dynamic load redundancy.
+
+Benchmarks the profile-limited query on the paper's 100-iteration loop
+and asserts the exact published outcome: the load in block 4 executes
+60 times, every instance is redundant, and the demand-driven engine
+generates exactly 6 propagated queries.
+"""
+
+from conftest import emit
+
+from repro.analysis import load_redundancy
+from repro.bench import fig9_redundancy_analysis
+from repro.trace import collect_wpp, partition_wpp
+from repro.workloads import (
+    FIGURE9_EXPECTED_EXECUTIONS,
+    FIGURE9_EXPECTED_QUERIES,
+    FIGURE9_QUERY_BLOCK,
+    figure9_program,
+)
+
+
+def test_fig9_redundancy_query(benchmark, results_dir):
+    program = figure9_program()
+    trace = partition_wpp(collect_wpp(program, args=[0])).traces[0][0]
+    func = program.function("main")
+
+    report = benchmark(
+        lambda: load_redundancy(func, trace, FIGURE9_QUERY_BLOCK)
+    )
+    assert report.executions == FIGURE9_EXPECTED_EXECUTIONS
+    assert report.redundant == FIGURE9_EXPECTED_EXECUTIONS
+    assert report.fully_redundant
+    assert report.queries_issued == FIGURE9_EXPECTED_QUERIES
+
+    emit(results_dir, "fig9_redundancy_analysis", fig9_redundancy_analysis())

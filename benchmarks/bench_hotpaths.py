@@ -1,0 +1,58 @@
+"""Extension bench: exact path-profile recovery from compacted WPPs.
+
+Not a paper table -- this measures the cost of the hot-path application
+built on top of the representation, and checks the skew properties the
+workloads are designed to exhibit.
+"""
+
+from conftest import emit
+
+from repro.analysis import path_profile
+from repro.bench.tables import Table
+
+
+def test_path_profile_recovery(benchmark, artifacts, results_dir):
+    mid = artifacts[3]  # ijpeg-like: loop-dominated
+
+    profile = benchmark.pedantic(
+        lambda: path_profile(mid.partitioned), rounds=3, iterations=1
+    )
+    assert profile.total_executions > 0
+
+    table = Table(
+        title="Extension: exact path profiles recovered from compacted WPPs",
+        headers=[
+            "Program",
+            "distinct paths",
+            "executions",
+            "paths for 90%",
+        ],
+    )
+    for art in artifacts:
+        prof = path_profile(art.partitioned)
+        n90 = prof.coverage(0.9)
+        table.add_row(
+            [
+                art.name,
+                prof.distinct_paths(),
+                prof.total_executions,
+                n90,
+            ],
+            {
+                "name": art.name,
+                "distinct": prof.distinct_paths(),
+                "executions": prof.total_executions,
+                "paths_90": n90,
+            },
+        )
+        # Path usage is skewed: 90% coverage needs a minority of paths.
+        assert n90 <= prof.distinct_paths()
+    emit(results_dir, "extension_hotpaths", table)
+
+    by_name = {r["name"]: r for r in table.data}
+    # The skewed workloads concentrate much harder than go-like.
+    go_ratio = by_name["go-like"]["paths_90"] / by_name["go-like"]["distinct"]
+    perl_ratio = (
+        by_name["perl-like"]["paths_90"] / by_name["perl-like"]["distinct"]
+    )
+    assert perl_ratio < go_ratio

@@ -1,0 +1,27 @@
+"""Table 1: sizes of the sample input traces.
+
+Benchmarks WPP collection + partitioning (the operations whose outputs
+Table 1 sizes) and regenerates the table.
+"""
+
+from conftest import emit
+
+from repro.bench import table1_wpp_sizes
+from repro.trace import partition_wpp
+
+
+def test_table1_wpp_sizes(benchmark, artifacts, results_dir):
+    mid = artifacts[1]  # gcc-like: the largest DCG, as in the paper
+
+    def partition():
+        return partition_wpp(mid.wpp)
+
+    result = benchmark.pedantic(partition, rounds=3, iterations=1)
+    assert len(result.dcg) == len(mid.partitioned.dcg)
+
+    table = table1_wpp_sizes(artifacts)
+    emit(results_dir, "table1_wpp_sizes", table)
+    # Every workload must have a non-trivial trace and DCG.
+    for row in table.data:
+        assert row["dcg_bytes"] > 0
+        assert row["trace_bytes"] > row["dcg_bytes"]

@@ -1,0 +1,30 @@
+"""Table 3: overall WPP compaction factor.
+
+Benchmarks ``.twpp`` serialization (index + LZW'd DCG + sections) and
+regenerates the table, asserting the paper's cross-benchmark ordering:
+the go analogue compacts least and the perl analogue most.
+"""
+
+from conftest import emit
+
+from repro.bench import table3_overall
+from repro.compact import serialize_twpp
+
+
+def test_table3_overall(benchmark, artifacts, results_dir):
+    mid = artifacts[1]  # gcc-like
+
+    data = benchmark.pedantic(
+        lambda: serialize_twpp(mid.compacted), rounds=3, iterations=1
+    )
+    assert len(data) == mid.twpp_bytes
+
+    table = table3_overall(artifacts)
+    emit(results_dir, "table3_overall", table)
+
+    factors = {row["name"]: row["overall_factor"] for row in table.data}
+    # Paper: 7 (go) ... 64 (perl); shape check, not absolute values.
+    assert all(f > 3 for f in factors.values()), factors
+    assert factors["go-like"] == min(factors.values())
+    assert factors["perl-like"] == max(factors.values())
+    assert factors["perl-like"] > 10 * factors["go-like"] / 2

@@ -1,0 +1,44 @@
+"""Table 4: per-function extraction time, uncompacted vs compacted.
+
+Benchmarks both sides -- the whole-file ``.wpp`` scan (column U) and
+the indexed ``.twpp`` extraction (column C) -- and regenerates the
+table, asserting the headline result: compacted access is faster on
+every workload, by well over an order of magnitude.
+"""
+
+from conftest import emit
+
+from repro.bench import table4_access_time
+from repro.compact import extract_function_traces
+from repro.trace import scan_function_traces
+
+
+def test_uncompacted_scan(benchmark, artifacts):
+    art = artifacts[1]  # gcc-like
+    hot = art.traced_function_names()[0]
+    traces = benchmark.pedantic(
+        lambda: scan_function_traces(art.wpp_path, hot), rounds=3, iterations=1
+    )
+    assert len(traces) == art.partitioned.call_counts()[hot]
+
+
+def test_compacted_extraction(benchmark, artifacts):
+    art = artifacts[1]  # gcc-like
+    hot = art.traced_function_names()[0]
+    traces = benchmark.pedantic(
+        lambda: extract_function_traces(art.twpp_path, hot),
+        rounds=10,
+        iterations=1,
+    )
+    idx = art.partitioned.func_index(hot)
+    assert set(traces) == set(art.partitioned.traces[idx])
+
+
+def test_table4_access_time(benchmark, artifacts, results_dir):
+    table = benchmark.pedantic(
+        lambda: table4_access_time(artifacts), rounds=1, iterations=1
+    )
+    emit(results_dir, "table4_access_time", table)
+    for row in table.data:
+        assert row["avg_c_ms"] < row["avg_u_ms"], row
+        assert row["speedup"] > 10, row

@@ -1,0 +1,37 @@
+"""Table 6: static vs dynamic flow graph sizes.
+
+Benchmarks timestamp-annotated dynamic CFG construction over every
+unique trace of one workload and regenerates the table, asserting the
+paper's observation that timestamp-vector compaction shrinks the
+per-node annotation substantially.
+"""
+
+from conftest import emit
+
+from repro.analysis import flowgraph_stats
+from repro.bench import table6_flowgraphs
+
+
+def test_dynamic_flowgraph_construction(benchmark, artifacts):
+    art = artifacts[3]  # ijpeg-like: longest traces per function
+    func_name = art.traced_function_names()[0]
+    func = art.program.function(func_name)
+    traces = art.partitioned.traces[art.partitioned.func_index(func_name)]
+    stats = benchmark.pedantic(
+        lambda: flowgraph_stats(func, traces), rounds=3, iterations=1
+    )
+    assert stats.dynamic_nodes > 0
+
+
+def test_table6_flowgraphs(benchmark, artifacts, results_dir):
+    table = benchmark.pedantic(
+        lambda: table6_flowgraphs(artifacts), rounds=1, iterations=1
+    )
+    emit(results_dir, "table6_flowgraphs", table)
+    for row in table.data:
+        # Compacted vectors never exceed raw ones, and the loop-heavy
+        # workloads compress their vectors by large factors.
+        assert row["avg_vector_slots"] <= row["avg_vector_raw"] + 1e-9, row
+    by_name = {row["name"]: row for row in table.data}
+    ijpeg = by_name["ijpeg-like"]
+    assert ijpeg["avg_vector_raw"] / max(ijpeg["avg_vector_slots"], 1e-9) > 5

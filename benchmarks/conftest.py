@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Workload artifacts (programs, traces, and the three on-disk formats)
+are built once per session; ``REPRO_BENCH_SCALE`` grows the traces for
+longer, more paper-scale runs.  Rendered tables are written to
+``results/`` at the repository root so a bench run leaves the
+regenerated tables behind.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import bench_scale, build_all_artifacts
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def artifacts(tmp_path_factory):
+    """All five workload artifact bundles, built once."""
+    out_dir = tmp_path_factory.mktemp("artifacts")
+    return build_all_artifacts(scale=bench_scale(), out_dir=out_dir)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, table) -> None:
+    """Persist a rendered table and echo it to stdout."""
+    text = table.render()
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

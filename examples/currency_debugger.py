@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Debugging optimized code: dynamic currency determination.
+
+Reproduces the paper's Figure 12.  Partial dead code elimination sank
+the second assignment to X out of block 1 into block 2 (its only use).
+The user debugs at source level and asks for X at a breakpoint in
+block 3; whether the runtime value matches the source program's depends
+on the executed path, which the timestamped WPP records exactly.
+
+Run:  python examples/currency_debugger.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    CodeMotion,
+    TimestampedCfg,
+    determine_currency,
+    placements_from_motion,
+)
+from repro.trace import collect_wpp, partition_wpp
+from repro.workloads import figure12_program
+
+LAYOUT = """
+   before optimization        after optimization
+   B1: X = a1                 B1: X = a1
+       X = a2   --------+
+       if c: B2 else B4 |         if c: B2 else B4
+   B2: ... = X ...      +---> B2: X = a2
+                                  ... = X ...
+   B4: (other path)           B4: (other path)
+   B3: <breakpoint: print X>  B3: <breakpoint: print X>
+"""
+
+
+def main() -> None:
+    program = figure12_program()
+    print("=== Partial dead code elimination (paper, Figure 12) ===")
+    print(LAYOUT)
+
+    # The optimizer's motion record is all the debugger needs, plus the
+    # trace: a2 moved from B1 to B2; a1 stayed in B1 (in the source
+    # program it is immediately shadowed by a2).
+    original, optimized = placements_from_motion(
+        base={1: "a1"},
+        motions=(CodeMotion("a2", original_block=1, optimized_block=2),),
+    )
+    original = type(original).of({1: "a2"})  # a2 shadows a1 within B1
+
+    for cond, path_name in ((1, "through B2"), (0, "bypassing B2")):
+        wpp = collect_wpp(program, args=[cond])
+        trace = partition_wpp(wpp).traces[0][0]
+        cfg = TimestampedCfg.from_trace(trace)
+        bp_ts = cfg.ts(3).min()
+        result = determine_currency(
+            cfg, "X", 3, bp_ts, original, optimized
+        )
+        print(f"=== Path {'.'.join(map(str, trace))} ({path_name}) ===")
+        print(f"  {result.explanation()}")
+        if not result.current:
+            print(
+                "  debugger action: warn the user that X's displayed "
+                "value does not correspond to the source program here."
+            )
+        print()
+
+    print(
+        "As the paper notes, 'timestamping of basic block executions is "
+        "needed for dynamic currency determination' -- the timestamp-"
+        "annotated dynamic CFG provides exactly that."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Debugging with dynamic slices over the timestamped WPP.
+
+Reproduces the paper's Section 4.3.2 / Figures 10-11: a user hits a
+breakpoint after a 3-iteration loop and asks "which statements
+influenced Z here?".  All three Agrawal-Horgan slicing algorithms run
+on the *same* timestamp-annotated dynamic CFG -- no specialized
+dependence graphs -- trading precision for work exactly as published.
+
+Run:  python examples/debugging_slices.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import DynamicSlicer, TimestampSet, TimestampedCfg
+from repro.ir import format_program
+from repro.trace import collect_wpp, partition_wpp
+from repro.workloads import FIGURE10_INPUTS, figure10_program
+
+SOURCE = """
+ 1: read N            8: Y = f2(X)
+ 2: I = 1             9: Z = f3(Y)
+ 3: J = 0            10: write Z
+ 4: while I <= N do  11: J = I
+ 5:   read X         12: I = I + 1
+ 6:   if X < 0 then  13: Z = Z + J
+ 7:     Y = f1(X)    14: <breakpoint>  -- slice on Z
+"""
+
+
+def show(label: str, result, note: str) -> None:
+    nodes = ",".join(map(str, result.sorted()))
+    print(f"{label}")
+    print(f"  slice   : {{{nodes}}}")
+    print(f"  queries : {result.queries_issued}")
+    print(f"  note    : {note}\n")
+
+
+def main() -> None:
+    program = figure10_program()
+    print("=== Source (paper, Figure 10) ===")
+    print(SOURCE)
+    print(f"Input: N=3, X = -4, 3, -2  (inputs={list(FIGURE10_INPUTS)})")
+
+    wpp = collect_wpp(program, inputs=FIGURE10_INPUTS)
+    trace = partition_wpp(wpp).traces[0][0]
+    print("\n=== Execution history (block ids) ===")
+    print(".".join(map(str, trace)))
+
+    cfg = TimestampedCfg.from_trace(trace)
+    print("\n=== Timestamp annotations ===")
+    for node in cfg.block_order():
+        print(f"  node {node:2d}: T = {cfg.ts(node)}")
+
+    slicer = DynamicSlicer(program.function("main"), trace)
+    criterion = TimestampSet.single(30)  # the breakpoint instance
+    print("\n=== Slicing request: <[30], 14>_Z ===\n")
+
+    show(
+        "Approach 1 -- executed PDG nodes",
+        slicer.slice_approach1(14, ["Z"]),
+        "static dependences over executed statements; keeps J=0 (node "
+        "3) because static reaching-defs cannot rule it out",
+    )
+    show(
+        "Approach 2 -- executed PDG edges",
+        slicer.slice_approach2(14, ["Z"], criterion),
+        "dynamic dependence detection drops node 3 (J=I at node 11 "
+        "always shadowed it) but still conflates statement instances, "
+        "keeping node 8",
+    )
+    show(
+        "Approach 3 -- statement instances",
+        slicer.slice_approach3(14, ["Z"], criterion),
+        "instance-precise: the final Z came via Y = f1(X) at t=23, so "
+        "node 8 (Y = f2) is out too -- the paper's precise slice",
+    )
+
+    print(
+        "Precision hierarchy (paper): A3 ⊂ A2 ⊂ A1; node 10 (write Z) "
+        "is in none of them, node 3 only in A1, node 8 in A1 and A2."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Profile-guided optimization: exact dynamic load redundancy.
+
+Reproduces the paper's Section 4.3.1 scenario (Figure 9).  A hot loop
+contains a load (block 4) that edge profiles cannot prove redundant:
+blocks execute 100/60/40 times, but frequencies alone cannot tell how
+often the killing store intervenes.  Profile-limited analysis over the
+timestamped WPP answers exactly, manipulating whole arithmetic series
+of timestamps per propagation step.
+
+Run:  python examples/profile_guided_optimization.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis import (
+    DemandDrivenEngine,
+    LoadAvailable,
+    TimestampedCfg,
+    load_redundancy,
+    redundancy_by_block,
+)
+from repro.trace import collect_wpp, partition_wpp
+from repro.workloads import figure9_program
+
+
+def main() -> None:
+    program = figure9_program()
+    wpp = collect_wpp(program, args=[0])
+    trace = partition_wpp(wpp).traces[0][0]
+    func = program.function("main")
+
+    print("=== Block execution frequencies (what edge profiles see) ===")
+    freq = Counter(trace)
+    for block in sorted(freq):
+        marker = {1: "1_Load", 4: "4_Load", 6: "6_Store"}.get(block, "")
+        print(f"  B{block}: {freq[block]:3d}  {marker}")
+    print(
+        "\nFrom these frequencies alone we cannot tell how often "
+        "1_Load's value survives to 4_Load."
+    )
+
+    print("\n=== Timestamp annotations (the TWPP view) ===")
+    cfg = TimestampedCfg.from_trace(trace)
+    for block in cfg.block_order():
+        print(f"  B{block}: T = {cfg.ts(block)}")
+
+    print("\n=== Demand-driven query <T(4), 4>_'MEM[100] available' ===")
+    report = load_redundancy(func, trace, 4)
+    print(f"  executions of 4_Load : {report.executions}")
+    print(f"  redundant instances  : {report.redundant}")
+    print(f"  degree of redundancy : {report.degree:.0%}")
+    print(f"  queries generated    : {report.queries_issued}")
+    print(
+        "\nThe paper's result: 4_Load is always redundant for this path "
+        "trace, established with 6 collectively-propagated queries "
+        "(each handles dozens of loop iterations at once)."
+    )
+
+    if report.fully_redundant:
+        print(
+            "\n=> Optimizer decision: replace 4_Load with a register "
+            "reuse of 1_Load's value (code motion / load elimination)."
+        )
+
+    print("\n=== Every load in the trace, audited ===")
+    for block, rep in sorted(redundancy_by_block(func, trace).items()):
+        print(
+            f"  B{block}: {rep.redundant}/{rep.executions} redundant "
+            f"({rep.degree:.0%}), {rep.queries_issued} queries"
+        )
+
+    print("\n=== Contrast: availability at the join block 7 ===")
+    engine = DemandDrivenEngine.for_function_trace(
+        func, trace, LoadAvailable(100)
+    )
+    result = engine.query(7)
+    print(
+        f"  of {len(result.requested)} executions of B7: "
+        f"{len(result.holds)} reached with the load available, "
+        f"{len(result.fails)} after 6_Store killed it"
+    )
+    print(
+        "  (the 20 p2-path instances survive; the 40 p3-path instances "
+        "were just killed -- a per-instance answer no edge profile "
+        "can give)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Comparing stored runs: behavioural regression analysis.
+
+The point of compacting WPPs is that whole executions become cheap to
+*keep*.  Once kept, two runs can be compared at path granularity: which
+functions took new paths, which stopped being called, where call counts
+shifted.  This example records two runs of the same program on
+different inputs and diffs them -- the workflow a performance engineer
+would use to pin down "what changed since the last good run".
+
+Run:  python examples/regression_diff.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.compact import compact_wpp, diff_twpp_files, write_twpp
+from repro.trace import collect_wpp, partition_wpp
+from repro.workloads import figure9_program
+
+
+def record_run(program, args, path: Path) -> None:
+    wpp = collect_wpp(program, args=args)
+    compacted, stats = compact_wpp(partition_wpp(wpp))
+    write_twpp(compacted, path)
+    print(
+        f"recorded {path.name}: {len(wpp)} events -> "
+        f"{path.stat().st_size} bytes (x{stats.overall_factor:.1f})"
+    )
+
+
+def main() -> None:
+    program = figure9_program()
+    tmp = Path(tempfile.mkdtemp(prefix="twpp-diff-"))
+
+    # Run A: the paper's schedule (starts at iteration 0).
+    # Run B: starts at iteration 30 -- fewer p1 iterations, so the loop
+    # visits the same paths with different frequencies and the final
+    # partial path differs.
+    record_run(program, [0], tmp / "good.twpp")
+    record_run(program, [30], tmp / "suspect.twpp")
+
+    print("\n=== diff good.twpp suspect.twpp ===")
+    delta = diff_twpp_files(tmp / "good.twpp", tmp / "suspect.twpp")
+    print(delta.render())
+
+    if delta.identical:
+        print("\nNo behavioural change.")
+        return
+    print("\nPer-function detail:")
+    for fd in delta.changed_functions():
+        print(f"  {fd.name}: traces {fd.traces_a} -> {fd.traces_b}, "
+              f"calls {fd.calls_a} -> {fd.calls_b}")
+        for trace in sorted(fd.only_in_b):
+            print(f"    new path : {'.'.join(map(str, trace[:20]))}"
+                  f"{'...' if len(trace) > 20 else ''}")
+        for trace in sorted(fd.only_in_a):
+            print(f"    vanished : {'.'.join(map(str, trace[:20]))}"
+                  f"{'...' if len(trace) > 20 else ''}")
+    print(
+        "\n(The CLI equivalent: `python -m repro diff good.twpp "
+        "suspect.twpp`, exit code 1 on any difference.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

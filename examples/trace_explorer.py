@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Trace explorer: the full pipeline on a SPECint-shaped workload.
+
+Generates the gcc-like synthetic benchmark, collects its WPP, builds
+all three on-disk representations, and answers a batch of per-function
+queries from each -- printing the size and access-time comparison that
+is the heart of the paper's evaluation (Tables 1-5).
+
+Run:  python examples/trace_explorer.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.compact import compact_wpp, extract_function_traces, write_twpp
+from repro.sequitur import (
+    extract_function_traces_sequitur,
+    write_compressed_wpp,
+)
+from repro.trace import (
+    collect_wpp,
+    partition_wpp,
+    scan_function_traces,
+    write_wpp,
+)
+from repro.workloads import workload
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    program, spec = workload("gcc-like", scale=scale)
+    print(f"=== Workload: {spec.name} (scale {scale}) ===")
+
+    t0 = time.perf_counter()
+    wpp = collect_wpp(program)
+    print(
+        f"traced {len(wpp)} events, "
+        f"{wpp.call_counts()['main']} run(s) of main, "
+        f"in {time.perf_counter() - t0:.2f}s"
+    )
+
+    part = partition_wpp(wpp)
+    compacted, stats = compact_wpp(part)
+    calls = part.call_counts()
+    uniques = part.unique_trace_counts()
+    print(f"{len(part.func_names)} functions executed, "
+          f"{sum(calls.values())} activations")
+
+    print("\n=== Hottest functions (calls vs unique traces) ===")
+    hottest = sorted(calls, key=lambda n: -calls[n])[:8]
+    for name in hottest:
+        print(f"  {name:12s} {calls[name]:6d} calls  "
+              f"{uniques[name]:4d} unique traces")
+
+    tmp = Path(tempfile.mkdtemp(prefix="twpp-explorer-"))
+    sizes = {
+        ".wpp (raw)": write_wpp(wpp, tmp / "w.wpp"),
+        ".twpp (compacted)": write_twpp(compacted, tmp / "w.twpp"),
+        ".sqwp (Sequitur)": write_compressed_wpp(wpp, tmp / "w.sqwp"),
+    }
+    print("\n=== On-disk sizes ===")
+    for label, size in sizes.items():
+        print(f"  {label:18s} {size / 1024:8.1f} KB")
+    print(f"  stage factors: dedup x{stats.dedup_factor:.2f}, "
+          f"dict x{stats.dictionary_factor:.2f}, "
+          f"twpp x{stats.twpp_factor:.2f}, "
+          f"overall x{stats.overall_factor:.1f}")
+
+    print("\n=== Per-function query cost (hottest 5 functions) ===")
+    print(f"  {'function':12s} {'raw scan':>10s} {'Sequitur':>10s} "
+          f"{'TWPP':>10s}")
+    for name in hottest[:5]:
+        t0 = time.perf_counter()
+        scan_function_traces(tmp / "w.wpp", name)
+        t_scan = (time.perf_counter() - t0) * 1000
+        t0 = time.perf_counter()
+        extract_function_traces_sequitur(tmp / "w.sqwp", name)
+        t_seq = (time.perf_counter() - t0) * 1000
+        t0 = time.perf_counter()
+        extract_function_traces(tmp / "w.twpp", name)
+        t_twpp = (time.perf_counter() - t0) * 1000
+        print(
+            f"  {name:12s} {t_scan:8.1f}ms {t_seq:8.1f}ms {t_twpp:8.2f}ms"
+        )
+    print(
+        "\nThe indexed .twpp answers per-function queries in "
+        "sub-millisecond time regardless of trace size; both baselines "
+        "pay for the whole trace on every query (paper, Tables 4-5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

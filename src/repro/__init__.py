@@ -1,0 +1,36 @@
+"""repro -- Timestamped Whole Program Path representation and applications.
+
+A from-scratch reproduction of Zhang & Gupta, "Timestamped Whole Program
+Path Representation and its Applications" (PLDI 2001).
+
+Subpackages
+-----------
+``repro.ir``
+    Static program representation (the compiler-IR substrate).
+``repro.interp``
+    Interpreter with WPP trace hooks (the tracing substrate).
+``repro.trace``
+    WPP event model, ``.wpp`` files, path-trace partitioning, DCG.
+``repro.compact``
+    The paper's core contribution: redundant-trace elimination, dynamic
+    basic block dictionaries, the timestamped WPP (TWPP), arithmetic
+    series compaction, LZW, the indexed ``.twpp`` file format.
+``repro.sequitur``
+    The Larus (PLDI 1999) Sequitur-compressed WPP baseline.
+``repro.analysis``
+    Profile-limited data-flow analysis: timestamp-annotated dynamic
+    CFGs, demand-driven GEN-KILL queries, load-redundancy detection,
+    dynamic slicing, dynamic currency determination.
+``repro.workloads``
+    The paper's worked example programs and a seeded SPECint-shaped
+    synthetic workload generator.
+``repro.bench``
+    Experiment drivers regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from .interp import run_program
+from .trace import collect_wpp
+
+__all__ = ["collect_wpp", "run_program", "__version__"]

@@ -1,0 +1,178 @@
+"""Demand-driven backward propagation of profile-limited queries.
+
+Implements Section 4.2: a query ``<T, n>_d`` asks, for each timestamp in
+``T``, whether fact ``d`` holds immediately before that execution of
+node ``n`` in the path trace.  Propagation decrements the timestamp
+vector and pushes it to predecessors whose timestamp sets contain the
+decremented values; a predecessor whose dynamic GEN (KILL) set covers a
+slot resolves it true (false); the rest keeps propagating.  Because
+each trace position is occupied by exactly one node, every timestamp
+follows a single backward path -- slots split across predecessors but
+never duplicate, so the analysis cost is bounded by the trace length.
+
+Timestamp vectors are manipulated *collectively* as compacted series
+(:mod:`repro.analysis.tsvector`), which is the efficiency point the
+paper makes with the ``(2:20:2) -> (1:19:2)`` example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..ir.module import Function
+from .dyncfg import TimestampedCfg
+from .facts import GEN, KILL, TRANSPARENT, Fact, classify_statements
+from .tsvector import TimestampSet
+
+#: Effect callback: given a node and the timestamps being examined at
+#: it, split them into (generated, killed, transparent) subsets.
+EffectFn = Callable[[int, TimestampSet], Tuple[TimestampSet, TimestampSet, TimestampSet]]
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one profile-limited query ``<T, n>_d``.
+
+    All sets are in the *origin* coordinate system: a timestamp ``t``
+    appears in ``holds`` when the fact holds just before the execution
+    of the origin node at trace position ``t``.
+    """
+
+    origin_node: int
+    requested: TimestampSet
+    holds: TimestampSet = field(default_factory=TimestampSet)
+    fails: TimestampSet = field(default_factory=TimestampSet)
+    unresolved: TimestampSet = field(default_factory=TimestampSet)
+    queries_issued: int = 0
+
+    @property
+    def always_holds(self) -> bool:
+        """Fact holds at every requested instance."""
+        return len(self.holds) == len(self.requested) and bool(self.requested)
+
+    @property
+    def never_holds(self) -> bool:
+        """Fact holds at no requested instance."""
+        return not self.holds
+
+    @property
+    def frequency(self) -> float:
+        """Fraction of requested instances where the fact holds.
+
+        This is the "how often does a data flow fact hold" answer the
+        paper's data-flow frequency application computes.
+        """
+        total = len(self.requested)
+        return len(self.holds) / total if total else 0.0
+
+    def check_conservation(self) -> None:
+        """Every requested instance must be accounted for exactly once."""
+        total = len(self.holds) + len(self.fails) + len(self.unresolved)
+        if total != len(self.requested):
+            raise AssertionError(
+                f"query lost instances: {total} != {len(self.requested)}"
+            )
+
+
+class DemandDrivenEngine:
+    """Backward GEN-KILL query evaluator over one timestamped dynamic CFG."""
+
+    def __init__(self, cfg: TimestampedCfg, effect: EffectFn):
+        self.cfg = cfg
+        self.effect = effect
+
+    @classmethod
+    def for_function_trace(
+        cls,
+        func: Function,
+        trace: Sequence[int],
+        fact: Fact,
+        effect_overrides: Optional[Dict[int, str]] = None,
+    ) -> "DemandDrivenEngine":
+        """Engine for an intraprocedural path trace of ``func``.
+
+        Node effects are classified statically per block from the fact's
+        GEN/KILL predicates; ``effect_overrides`` can pin individual
+        blocks (tests use this to model opaque statements).  Traces with
+        call statements should instead be analysed through
+        :mod:`repro.analysis.interproc`, which accounts for callee
+        effects per activation.
+        """
+        cfg = TimestampedCfg.from_trace(trace)
+        classes: Dict[int, str] = {}
+        for block_id in cfg.nodes():
+            if effect_overrides and block_id in effect_overrides:
+                classes[block_id] = effect_overrides[block_id]
+            else:
+                classes[block_id] = classify_statements(
+                    func.block(block_id).statements, fact
+                )
+        return cls(cfg, uniform_effects(classes))
+
+    def query(
+        self,
+        node: int,
+        ts: Optional[TimestampSet] = None,
+        log: Optional[List[Tuple[int, TimestampSet]]] = None,
+    ) -> QueryResult:
+        """Evaluate ``<T, n>_d``; ``ts`` defaults to all of ``n``'s instances.
+
+        When ``log`` is a list, every propagated query ``<T', m>`` is
+        appended to it as ``(m, T')`` -- the exact vectors the paper's
+        Figure 9 displays.
+        """
+        requested = self.cfg.ts(node) if ts is None else ts
+        result = QueryResult(origin_node=node, requested=requested)
+        if not requested:
+            return result
+
+        # Work items: (node, timestamps in current coords, offset back to
+        # origin coords).  Each propagated item is one "query" in the
+        # paper's counting.
+        work: List[Tuple[int, TimestampSet, int]] = [(node, requested, 0)]
+        while work:
+            n, current, offset = work.pop()
+            # Instances at trace position 1 have no predecessor: the
+            # query reaches the start of the path trace unresolved.
+            at_start = current.intersect(TimestampSet.single(1))
+            if at_start:
+                result.unresolved = result.unresolved.union(
+                    at_start.shift(offset)
+                )
+            shifted = current.shift(-1)
+            if not shifted:
+                continue
+            for m in self.cfg.preds.get(n, ()):
+                sub = shifted.intersect(self.cfg.ts(m))
+                if not sub:
+                    continue
+                result.queries_issued += 1
+                if log is not None:
+                    log.append((m, sub))
+                gen_ts, kill_ts, trans_ts = self.effect(m, sub)
+                if gen_ts:
+                    result.holds = result.holds.union(gen_ts.shift(offset + 1))
+                if kill_ts:
+                    result.fails = result.fails.union(kill_ts.shift(offset + 1))
+                if trans_ts:
+                    work.append((m, trans_ts, offset + 1))
+
+        result.check_conservation()
+        return result
+
+
+def uniform_effects(classes: Dict[int, str]) -> EffectFn:
+    """Effect function for nodes whose classification is timestamp-invariant."""
+
+    empty = TimestampSet()
+
+    def effect(node: int, ts: TimestampSet):
+        cls = classes.get(node, TRANSPARENT)
+        if cls == GEN:
+            return ts, empty, empty
+        if cls == KILL:
+            return empty, ts, empty
+        return empty, empty, ts
+
+    return effect

@@ -1,0 +1,264 @@
+"""Timestamp sets manipulated collectively as arithmetic series.
+
+The demand-driven analysis of Section 4 propagates *timestamp vectors*
+whose slots are compacted series entries; "a simple increment/decrement
+resulting in (3:21:2)/(1:19:2) corresponds to simultaneous
+forward/backward traversal along 10 subpaths in the path trace".  This
+module provides that machinery: an immutable set of positive timestamps
+stored as ordered ``(lo, hi, step)`` entries with shift, intersection,
+difference and union.
+
+Shift and single-entry intersection operate directly on the series
+(intersecting two arithmetic progressions is a CRT problem); operations
+whose exact series result would require splitting into many fragments
+fall back to materialize-and-recompress, which preserves exactness and
+canonical form at a cost proportional to the set's cardinality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import gcd
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..compact.series import compress_series, decompress_series, iter_entries
+
+Entry = Tuple[int, int, int]  # (lo, hi, step), lo <= hi, step >= 1
+
+
+@dataclass(frozen=True)
+class TimestampSet:
+    """An immutable set of positive timestamps in compacted-series form."""
+
+    entries: Tuple[Entry, ...] = ()
+
+    # ---- constructors --------------------------------------------------
+
+    @classmethod
+    def from_values(cls, values: Iterable[int]) -> "TimestampSet":
+        """Build from arbitrary positive ints (sorted and deduplicated)."""
+        unique = sorted(set(values))
+        if not unique:
+            return cls()
+        stream = compress_series(unique)
+        return cls(entries=tuple(iter_entries(stream)))
+
+    @classmethod
+    def from_stream(cls, stream: Sequence[int]) -> "TimestampSet":
+        """Build from a signed entry stream (the on-disk TWPP encoding)."""
+        entries = tuple(iter_entries(stream))
+        # Entries from a stream are already sorted and disjoint when they
+        # come from compress_series; re-canonicalize defensively otherwise.
+        values_needed = False
+        prev_hi = 0
+        for lo, hi, _step in entries:
+            if lo <= prev_hi:
+                values_needed = True
+                break
+            prev_hi = hi
+        if values_needed:
+            return cls.from_values(
+                v for lo, hi, step in entries for v in range(lo, hi + 1, step)
+            )
+        return cls(entries=entries)
+
+    @classmethod
+    def single(cls, value: int) -> "TimestampSet":
+        """A one-element set."""
+        if value <= 0:
+            raise ValueError("timestamps must be positive")
+        return cls(entries=((value, value, 1),))
+
+    @classmethod
+    def empty(cls) -> "TimestampSet":
+        return cls()
+
+    # ---- basic queries -------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum((hi - lo) // step + 1 for lo, hi, step in self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def __iter__(self) -> Iterator[int]:
+        for lo, hi, step in self.entries:
+            yield from range(lo, hi + 1, step)
+
+    def __contains__(self, value: int) -> bool:
+        for lo, hi, step in self.entries:
+            if lo <= value <= hi and (value - lo) % step == 0:
+                return True
+        return False
+
+    def values(self) -> List[int]:
+        """Materialize as a sorted list."""
+        return list(self)
+
+    def min(self) -> int:
+        """Smallest timestamp (ValueError on empty)."""
+        if not self.entries:
+            raise ValueError("empty timestamp set")
+        return self.entries[0][0]
+
+    def max(self) -> int:
+        """Largest timestamp (ValueError on empty)."""
+        if not self.entries:
+            raise ValueError("empty timestamp set")
+        return max(hi for _lo, hi, _step in self.entries)
+
+    def slot_count(self) -> int:
+        """Number of series entries -- the paper's vector width."""
+        return len(self.entries)
+
+    # ---- collective operations ----------------------------------------
+
+    def shift(self, delta: int) -> "TimestampSet":
+        """Add ``delta`` to every timestamp, dropping non-positive results.
+
+        This is the decrement/increment of query propagation; it acts
+        entry-at-a-time, never expanding the series.
+        """
+        out: List[Entry] = []
+        for lo, hi, step in self.entries:
+            lo += delta
+            hi += delta
+            if hi <= 0:
+                continue
+            if lo <= 0:
+                # Clip to the smallest in-range member of the series.
+                k = (1 - lo + step - 1) // step
+                lo += k * step
+                if lo > hi:
+                    continue
+            out.append((lo, hi, step))
+        return TimestampSet(entries=tuple(out))
+
+    def intersect(self, other: "TimestampSet") -> "TimestampSet":
+        """Exact intersection.
+
+        Each pair of entries intersects to at most one arithmetic
+        progression (CRT); results are concatenated and re-canonicalized
+        only when they interleave.
+        """
+        pieces: List[Entry] = []
+        for a in self.entries:
+            for b in other.entries:
+                piece = _intersect_entries(a, b)
+                if piece is not None:
+                    pieces.append(piece)
+        return _from_pieces(pieces)
+
+    def subtract(self, other: "TimestampSet") -> "TimestampSet":
+        """Exact difference ``self - other``."""
+        if not other.entries or not self.entries:
+            return self
+        removed = self.intersect(other)
+        if not removed:
+            return self
+        if len(removed) == len(self):
+            return TimestampSet()
+        # General difference fragments series arbitrarily; materialize.
+        gone = set(removed)
+        return TimestampSet.from_values(v for v in self if v not in gone)
+
+    def union(self, other: "TimestampSet") -> "TimestampSet":
+        """Exact union."""
+        if not other.entries:
+            return self
+        if not self.entries:
+            return other
+        return _from_pieces(list(self.entries) + list(other.entries))
+
+    def __str__(self) -> str:
+        parts = []
+        for lo, hi, step in self.entries:
+            if lo == hi:
+                parts.append(str(lo))
+            elif step == 1:
+                parts.append(f"{lo}:{hi}")
+            else:
+                parts.append(f"{lo}:{hi}:{step}")
+        return "{" + ", ".join(parts) + "}"
+
+
+def _intersect_entries(a: Entry, b: Entry) -> Optional[Entry]:
+    """Intersect two arithmetic progressions into one (or None)."""
+    lo_a, hi_a, s_a = a
+    lo_b, hi_b, s_b = b
+    lo = max(lo_a, lo_b)
+    hi = min(hi_a, hi_b)
+    if lo > hi:
+        return None
+    g = gcd(s_a, s_b)
+    if (lo_a - lo_b) % g:
+        return None  # residues incompatible: empty intersection
+    step = s_a // g * s_b  # lcm
+    # Find the smallest t >= lo with t ≡ lo_a (mod s_a) and t ≡ lo_b (mod s_b).
+    t = _crt(lo_a, s_a, lo_b, s_b)
+    if t < lo:
+        t += ((lo - t) + step - 1) // step * step
+    if t > hi:
+        return None
+    last = t + (hi - t) // step * step
+    return (t, last, step)
+
+
+def _crt(r1: int, m1: int, r2: int, m2: int) -> int:
+    """Smallest non-negative solution of t ≡ r1 (mod m1), t ≡ r2 (mod m2).
+
+    Caller guarantees compatibility (``(r1 - r2) % gcd == 0``).
+    """
+    g, p, _q = _ext_gcd(m1, m2)
+    lcm = m1 // g * m2
+    diff = (r2 - r1) // g
+    t = (r1 + m1 * diff * p) % lcm
+    return t
+
+
+def _ext_gcd(a: int, b: int) -> Tuple[int, int, int]:
+    """Extended Euclid: returns (g, x, y) with a*x + b*y == g."""
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    return old_r, old_x, old_y
+
+
+def _from_pieces(pieces: List[Entry]) -> TimestampSet:
+    """Canonicalize a bag of entries into a TimestampSet."""
+    if not pieces:
+        return TimestampSet()
+    pieces.sort()
+    # Fast path: already disjoint and ordered.
+    disjoint = all(
+        pieces[i][1] < pieces[i + 1][0] for i in range(len(pieces) - 1)
+    )
+    if disjoint:
+        merged = _merge_adjacent(pieces)
+        return TimestampSet(entries=tuple(merged))
+    values = sorted(
+        {v for lo, hi, step in pieces for v in range(lo, hi + 1, step)}
+    )
+    return TimestampSet.from_values(values)
+
+
+def _merge_adjacent(pieces: List[Entry]) -> List[Entry]:
+    """Merge consecutive entries that continue the same series."""
+    out: List[Entry] = []
+    for entry in pieces:
+        if out:
+            lo, hi, step = out[-1]
+            e_lo, e_hi, e_step = entry
+            same_step = step == e_step or hi == lo or e_lo == e_hi
+            eff_step = e_step if hi == lo else step
+            if same_step and e_lo - hi == eff_step:
+                if e_lo == e_hi or e_step == eff_step:
+                    out[-1] = (lo, e_hi, eff_step)
+                    continue
+        out.append(entry)
+    return out

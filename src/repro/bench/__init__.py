@@ -1,0 +1,48 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from .experiments import (
+    DEFAULT_SAMPLE_FUNCTIONS,
+    FIG8_BUCKETS,
+    fig8_redundancy,
+    fig9_redundancy_analysis,
+    fig10_slicing,
+    fig12_currency,
+    run_all_experiments,
+    table1_wpp_sizes,
+    table2_stage_compaction,
+    table3_overall,
+    table4_access_time,
+    table5_sequitur,
+    table6_flowgraphs,
+)
+from .tables import Table, fmt_factor, fmt_kb, fmt_ms
+from .workbench import (
+    WorkloadArtifacts,
+    bench_scale,
+    build_all_artifacts,
+    build_artifacts,
+)
+
+__all__ = [
+    "DEFAULT_SAMPLE_FUNCTIONS",
+    "FIG8_BUCKETS",
+    "Table",
+    "WorkloadArtifacts",
+    "bench_scale",
+    "build_all_artifacts",
+    "build_artifacts",
+    "fig10_slicing",
+    "fig12_currency",
+    "fig8_redundancy",
+    "fig9_redundancy_analysis",
+    "fmt_factor",
+    "fmt_kb",
+    "fmt_ms",
+    "run_all_experiments",
+    "table1_wpp_sizes",
+    "table2_stage_compaction",
+    "table3_overall",
+    "table4_access_time",
+    "table5_sequitur",
+    "table6_flowgraphs",
+]

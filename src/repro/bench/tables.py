@@ -1,0 +1,72 @@
+"""Plain-text table rendering for the experiment harness.
+
+Every experiment driver returns a :class:`Table`; rendering is aligned
+monospace so the regenerated tables can be eyeballed against the
+paper's.  Values are kept as raw numbers alongside the formatted rows
+(``Table.data``) so tests can assert on them without re-parsing text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass
+class Table:
+    """A titled table with aligned text rendering and raw data."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    #: Raw per-row dictionaries for programmatic assertions.
+    data: List[Dict[str, Any]] = field(default_factory=list)
+    note: str = ""
+
+    def add_row(self, cells: Sequence[Any], raw: Dict[str, Any]) -> None:
+        """Append one formatted row and its raw values."""
+        self.rows.append([str(c) for c in cells])
+        self.data.append(dict(raw))
+
+    def render(self) -> str:
+        """Render as aligned monospace text."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        if self.note:
+            lines.append("")
+            lines.append(self.note)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def fmt_kb(n_bytes: int) -> str:
+    """Format a byte count as KB with one decimal."""
+    return f"{n_bytes / 1024:.1f}"
+
+
+def fmt_factor(x: float) -> str:
+    """Format a compaction factor like the paper's (x6.30) annotations."""
+    if x == float("inf"):
+        return "xInf"
+    return f"x{x:.2f}"
+
+
+def fmt_ms(x: float) -> str:
+    """Format milliseconds with sub-millisecond resolution."""
+    if x >= 100:
+        return f"{x:.0f}"
+    if x >= 1:
+        return f"{x:.1f}"
+    return f"{x:.3f}"

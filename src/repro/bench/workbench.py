@@ -1,0 +1,113 @@
+"""Building and caching the artifacts every experiment consumes.
+
+One :class:`WorkloadArtifacts` bundles, for a single benchmark: the
+program, its WPP, the partitioned and compacted forms with stage sizes,
+and the three on-disk representations (uncompacted ``.wpp``, indexed
+compacted ``.twpp``, Sequitur-compressed ``.sqwp``).  Building all five
+takes a few seconds, so the bench suite shares one bundle per session.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..compact.format import write_twpp
+from ..compact.pipeline import CompactedWpp, CompactionStats, compact_wpp
+from ..ir.module import Program
+from ..sequitur.wpp_codec import write_compressed_wpp
+from ..trace.format import write_wpp
+from ..trace.partition import PartitionedWpp, partition_wpp
+from ..trace.wpp import WppTrace, collect_wpp
+from ..workloads.generator import WorkloadSpec
+from ..workloads.specs import WORKLOAD_NAMES, workload
+
+PathLike = Union[str, os.PathLike]
+
+
+@dataclass
+class WorkloadArtifacts:
+    """Everything the experiment drivers need for one benchmark."""
+
+    name: str
+    spec: WorkloadSpec
+    program: Program
+    wpp: WppTrace
+    partitioned: PartitionedWpp
+    compacted: CompactedWpp
+    stats: CompactionStats
+    wpp_path: Path
+    twpp_path: Path
+    sqwp_path: Path
+    wpp_bytes: int
+    twpp_bytes: int
+    sqwp_bytes: int
+
+    def traced_function_names(self) -> List[str]:
+        """Functions that actually executed, hottest first."""
+        counts = self.partitioned.call_counts()
+        return sorted(counts, key=lambda n: -counts[n])
+
+
+def build_artifacts(
+    name: str,
+    scale: float = 1.0,
+    out_dir: Optional[PathLike] = None,
+    with_sequitur: bool = True,
+) -> WorkloadArtifacts:
+    """Build one workload end to end, writing its three files."""
+    program, spec = workload(name, scale)
+    wpp = collect_wpp(program)
+    partitioned = partition_wpp(wpp)
+    compacted, stats = compact_wpp(partitioned)
+
+    base = Path(out_dir) if out_dir else Path(tempfile.mkdtemp(prefix="repro-"))
+    base.mkdir(parents=True, exist_ok=True)
+    wpp_path = base / f"{name}.wpp"
+    twpp_path = base / f"{name}.twpp"
+    sqwp_path = base / f"{name}.sqwp"
+    wpp_bytes = write_wpp(wpp, wpp_path)
+    twpp_bytes = write_twpp(compacted, twpp_path)
+    sqwp_bytes = write_compressed_wpp(wpp, sqwp_path) if with_sequitur else 0
+
+    return WorkloadArtifacts(
+        name=name,
+        spec=spec,
+        program=program,
+        wpp=wpp,
+        partitioned=partitioned,
+        compacted=compacted,
+        stats=stats,
+        wpp_path=wpp_path,
+        twpp_path=twpp_path,
+        sqwp_path=sqwp_path,
+        wpp_bytes=wpp_bytes,
+        twpp_bytes=twpp_bytes,
+        sqwp_bytes=sqwp_bytes,
+    )
+
+
+def build_all_artifacts(
+    scale: float = 1.0,
+    out_dir: Optional[PathLike] = None,
+    with_sequitur: bool = True,
+) -> List[WorkloadArtifacts]:
+    """Build all five bundled workloads in canonical order."""
+    base = Path(out_dir) if out_dir else Path(tempfile.mkdtemp(prefix="repro-"))
+    return [
+        build_artifacts(name, scale, base, with_sequitur)
+        for name in WORKLOAD_NAMES
+    ]
+
+
+def bench_scale() -> float:
+    """Trace-size multiplier for the bench suite.
+
+    Controlled by the ``REPRO_BENCH_SCALE`` environment variable
+    (default 1.0) so the same harness can regenerate the tables at
+    larger trace sizes when more time is available.
+    """
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))

@@ -1,0 +1,376 @@
+"""Command-line interface: the pipeline as composable file commands.
+
+Usage (also via ``python -m repro``)::
+
+    repro-wpp generate perl-like -o prog.ir          # textual IR out
+    repro-wpp trace prog.ir -o run.wpp --arg 0       # run + collect WPP
+    repro-wpp compact run.wpp -o run.twpp            # compaction pipeline
+    repro-wpp sequitur run.wpp -o run.sqwp           # Larus baseline
+    repro-wpp info run.twpp                          # header/summary
+    repro-wpp query run.twpp some_function           # per-function traces
+    repro-wpp stats run.wpp                          # stage size report
+    repro-wpp check run.twpp --program prog.ir       # integrity fsck
+    repro-wpp diff good.twpp bad.twpp                # behavioural run diff
+    repro-wpp hotpaths run.wpp                       # hot acyclic paths
+    repro-wpp experiments --scale 1.0                # all tables+figures
+
+Every command reads/writes the documented on-disk formats, so the CLI
+composes with the library and with itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .ir.printer import format_program
+    from .workloads.specs import WORKLOAD_NAMES, workload
+
+    if args.name not in WORKLOAD_NAMES:
+        print(
+            f"unknown workload {args.name!r}; choose from "
+            f"{', '.join(WORKLOAD_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    program, spec = workload(args.name, scale=args.scale)
+    text = format_program(program)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output} ({len(program.functions)} functions)")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .ir.parser import parse_program
+    from .trace.format import write_wpp
+    from .trace.wpp import WppBuilder
+    from .interp.interpreter import run_program
+
+    program = parse_program(Path(args.program).read_text())
+    builder = WppBuilder()
+    result = run_program(
+        program,
+        args=args.arg,
+        inputs=args.input,
+        tracer=builder,
+        max_events=args.max_events,
+    )
+    wpp = builder.finish()
+    size = write_wpp(wpp, args.output)
+    print(
+        f"traced {len(wpp)} events ({result.calls_made} calls), "
+        f"wrote {args.output} ({size} bytes)"
+    )
+    if result.output:
+        print("program output:", " ".join(map(str, result.output)))
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from .compact.format import write_twpp
+    from .compact.pipeline import compact_wpp
+    from .trace.format import read_wpp
+    from .trace.partition import partition_wpp
+
+    wpp = read_wpp(args.wpp)
+    compacted, stats = compact_wpp(partition_wpp(wpp))
+    size = write_twpp(compacted, args.output)
+    print(f"wrote {args.output} ({size} bytes)")
+    print(
+        f"stages: dedup x{stats.dedup_factor:.2f}, "
+        f"dictionaries x{stats.dictionary_factor:.2f}, "
+        f"twpp x{stats.twpp_factor:.2f}  =>  "
+        f"overall x{stats.overall_factor:.1f}"
+    )
+    return 0
+
+
+def _cmd_sequitur(args: argparse.Namespace) -> int:
+    from .sequitur.wpp_codec import write_compressed_wpp
+    from .trace.format import read_wpp
+
+    wpp = read_wpp(args.wpp)
+    size = write_compressed_wpp(wpp, args.output)
+    print(f"wrote {args.output} ({size} bytes, {len(wpp)} events)")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    path = Path(args.file)
+    magic = path.open("rb").read(4)
+    if magic == b"WPP1":
+        from .trace.format import read_wpp
+
+        wpp = read_wpp(path)
+        counts = wpp.call_counts()
+        print(f"{path}: uncompacted WPP, {len(wpp)} events")
+        print(f"functions ({len(wpp.func_names)}):")
+        for name in sorted(counts, key=lambda n: -counts[n]):
+            print(f"  {name}: {counts[name]} activation(s)")
+    elif magic == b"TWPP":
+        from .compact.format import read_header
+
+        with open(path, "rb") as fh:
+            header = read_header(fh)
+        print(
+            f"{path}: compacted TWPP, {len(header.entries)} functions, "
+            f"DCG {header.dcg_comp_len} bytes compressed "
+            f"({header.dcg_raw_len} raw)"
+        )
+        print("sections (hottest first):")
+        for e in header.entries:
+            print(
+                f"  {e.name}: {e.call_count} calls, section "
+                f"{e.length} bytes @ +{e.offset}"
+            )
+    elif magic == b"SQWP":
+        from .sequitur.wpp_codec import read_step
+
+        names, grammar = read_step(path)
+        print(
+            f"{path}: Sequitur-compressed WPP, {len(names)} functions, "
+            f"{grammar.rule_count()} rules, "
+            f"{grammar.total_symbols()} symbols, expands to "
+            f"{grammar.expanded_length()} events"
+        )
+    else:
+        print(f"{path}: unknown format (magic {magic!r})", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    path = Path(args.file)
+    magic = path.open("rb").read(4)
+    if magic == b"TWPP":
+        from .compact.query import extract_function_traces
+
+        traces = extract_function_traces(path, args.function)
+        label = "unique path traces"
+    elif magic == b"WPP1":
+        from .trace.format import scan_function_traces
+
+        traces = scan_function_traces(path, args.function)
+        label = "path traces (one per activation)"
+    elif magic == b"SQWP":
+        from .sequitur.wpp_codec import extract_function_traces_sequitur
+
+        traces = extract_function_traces_sequitur(path, args.function)
+        label = "path traces (one per activation)"
+    else:
+        print(f"{path}: unknown format", file=sys.stderr)
+        return 2
+    print(f"{args.function}: {len(traces)} {label}")
+    limit = args.limit if args.limit > 0 else len(traces)
+    for trace in traces[:limit]:
+        print("  " + ".".join(map(str, trace)))
+    if len(traces) > limit:
+        print(f"  ... ({len(traces) - limit} more)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .compact.pipeline import compact_wpp
+    from .trace.format import read_wpp
+    from .trace.partition import partition_wpp
+
+    wpp = read_wpp(args.wpp)
+    part = partition_wpp(wpp)
+    _compacted, stats = compact_wpp(part)
+    kb = 1024
+    print(f"events            : {len(wpp)}")
+    print(f"activations       : {sum(part.call_counts().values())}")
+    print(f"functions         : {len(part.func_names)}")
+    print(f"DCG               : {stats.dcg_raw_bytes / kb:.1f} KB "
+          f"(LZW {stats.dcg_lzw_bytes / kb:.1f} KB)")
+    print(f"OWPP traces       : {stats.owpp_trace_bytes / kb:.1f} KB")
+    print(f"after dedup       : {stats.dedup_trace_bytes / kb:.1f} KB "
+          f"(x{stats.dedup_factor:.2f})")
+    print(f"after dictionaries: {stats.dict_stage_trace_bytes / kb:.1f} KB "
+          f"(x{stats.dictionary_factor:.2f}) + "
+          f"{stats.dictionary_bytes / kb:.1f} KB dicts")
+    print(f"compacted TWPP    : {stats.ctwpp_trace_bytes / kb:.1f} KB "
+          f"(x{stats.twpp_factor:.2f})")
+    print(f"total compacted   : {stats.compacted_total_bytes / kb:.1f} KB "
+          f"(overall x{stats.overall_factor:.1f})")
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    from .analysis.coverage import coverage_report
+    from .ir.parser import parse_program
+    from .trace.format import read_wpp
+    from .trace.partition import partition_wpp
+
+    program = parse_program(Path(args.program).read_text())
+    part = partition_wpp(read_wpp(args.wpp))
+    print(coverage_report(part, program).render())
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .compact.delta import diff_twpp_files
+
+    delta = diff_twpp_files(args.twpp_a, args.twpp_b)
+    print(delta.render(limit=args.limit))
+    return 0 if delta.identical else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .compact.format import read_twpp
+    from .compact.verify import IntegrityError, verify_compacted
+    from .ir.parser import parse_program
+
+    compacted = read_twpp(args.twpp)
+    program = None
+    if args.program:
+        program = parse_program(Path(args.program).read_text())
+    try:
+        notes = verify_compacted(compacted, program)
+    except IntegrityError as exc:
+        print(f"INTEGRITY FAILURE: {exc}", file=sys.stderr)
+        return 1
+    for note in notes:
+        print(f"ok: {note}")
+    return 0
+
+
+def _cmd_hotpaths(args: argparse.Namespace) -> int:
+    from .analysis.hotpaths import path_profile
+    from .trace.format import read_wpp
+    from .trace.partition import partition_wpp
+
+    wpp = read_wpp(args.wpp)
+    profile = path_profile(partition_wpp(wpp))
+    print(
+        f"{profile.distinct_paths()} distinct acyclic paths, "
+        f"{profile.total_executions} executions; "
+        f"{profile.coverage(args.coverage)} path(s) cover "
+        f"{args.coverage:.0%}"
+    )
+    for hot in profile.hot_paths(args.top):
+        print(" ", hot)
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .bench.experiments import run_all_experiments
+    from .bench.workbench import build_all_artifacts
+
+    artifacts = build_all_artifacts(scale=args.scale, out_dir=args.workdir)
+    text = run_all_experiments(artifacts, sample=args.sample)
+    print(text)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"\n(wrote {args.output})", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-wpp",
+        description="Timestamped Whole Program Path toolkit (PLDI 2001 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="emit a synthetic workload as textual IR")
+    p.add_argument("name", help="workload name (e.g. gcc-like)")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("-o", "--output", help="write to file instead of stdout")
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("trace", help="run a textual-IR program, collect its WPP")
+    p.add_argument("program", help="textual IR file")
+    p.add_argument("-o", "--output", required=True, help=".wpp output path")
+    p.add_argument("--arg", type=int, action="append", default=[],
+                   help="argument passed to main (repeatable)")
+    p.add_argument("--input", type=int, action="append", default=[],
+                   help="value for the read() input stream (repeatable)")
+    p.add_argument("--max-events", type=int, default=50_000_000)
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("compact", help="compact a .wpp into an indexed .twpp")
+    p.add_argument("wpp", help=".wpp input path")
+    p.add_argument("-o", "--output", required=True, help=".twpp output path")
+    p.set_defaults(func=_cmd_compact)
+
+    p = sub.add_parser("sequitur", help="compress a .wpp with the Larus baseline")
+    p.add_argument("wpp", help=".wpp input path")
+    p.add_argument("-o", "--output", required=True, help=".sqwp output path")
+    p.set_defaults(func=_cmd_sequitur)
+
+    p = sub.add_parser("info", help="describe any .wpp/.twpp/.sqwp file")
+    p.add_argument("file")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("query", help="extract one function's path traces")
+    p.add_argument("file", help=".wpp, .twpp or .sqwp file")
+    p.add_argument("function")
+    p.add_argument("--limit", type=int, default=10,
+                   help="max traces to print (0 = all)")
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("stats", help="compaction stage report for a .wpp")
+    p.add_argument("wpp")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "coverage", help="block/edge coverage of a run against its program"
+    )
+    p.add_argument("wpp", help=".wpp input path")
+    p.add_argument("--program", required=True, help="textual IR file")
+    p.set_defaults(func=_cmd_coverage)
+
+    p = sub.add_parser(
+        "diff", help="compare two .twpp runs (exit 1 when they differ)"
+    )
+    p.add_argument("twpp_a")
+    p.add_argument("twpp_b")
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser("check", help="verify a .twpp file's integrity")
+    p.add_argument("twpp")
+    p.add_argument("--program", help="textual IR to cross-check against")
+    p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("hotpaths", help="rank hot acyclic paths from a .wpp")
+    p.add_argument("wpp")
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--coverage", type=float, default=0.9)
+    p.set_defaults(func=_cmd_hotpaths)
+
+    p = sub.add_parser("experiments", help="regenerate every table and figure")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--sample", type=int, default=8)
+    p.add_argument("--workdir", default=None)
+    p.add_argument("-o", "--output", help="also write the report to a file")
+    p.set_defaults(func=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

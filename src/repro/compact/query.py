@@ -1,0 +1,95 @@
+"""High-level query interface over ``.twpp`` files.
+
+The paper's motivating usage pattern is "a series of requests for
+profile data for individual functions"; this module is that request
+path.  :class:`TwppReader` parses the header once and answers each
+function query by seeking directly to its section, and the module-level
+:func:`extract_function_traces` measures the full cold-query cost (open
++ header + one section) that Table 4's column C times.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple, Union
+
+from .dbb import expand_trace
+from .format import (
+    FunctionIndexEntry,
+    TwppHeader,
+    _parse_section,
+    read_header,
+)
+from .pipeline import FunctionCompact
+
+PathLike = Union[str, "os.PathLike[str]"]
+PathTrace = Tuple[int, ...]
+
+
+class TwppReader:
+    """Random-access reader over one ``.twpp`` file.
+
+    Keeps the file handle and parsed header; each query performs one
+    seek plus one bounded read.  Usable as a context manager.
+    """
+
+    def __init__(self, path: PathLike):
+        self._fh = open(path, "rb")
+        self._header: TwppHeader = read_header(self._fh)
+        self._by_name: Dict[str, FunctionIndexEntry] = {
+            e.name: e for e in self._header.entries
+        }
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "TwppReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def function_names(self) -> List[str]:
+        """Function names in storage (hottest-first) order."""
+        return [e.name for e in self._header.entries]
+
+    def call_count(self, name: str) -> int:
+        """Number of activations of a function in the traced run."""
+        return self._entry(name).call_count
+
+    def extract(self, name: str) -> FunctionCompact:
+        """Read and parse one function's section."""
+        entry = self._entry(name)
+        self._fh.seek(self._header.sections_base + entry.offset)
+        data = self._fh.read(entry.length)
+        if len(data) != entry.length:
+            raise ValueError(f"truncated section for {name!r}")
+        return _parse_section(data, entry.name, entry.call_count)
+
+    def unique_path_traces(self, name: str) -> List[PathTrace]:
+        """The function's unique *original* path traces (DBBs expanded)."""
+        fc = self.extract(name)
+        return [fc.expand_pair(p) for p in range(len(fc.pairs))]
+
+    def _entry(self, name: str) -> FunctionIndexEntry:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"function {name!r} not in .twpp file") from None
+
+
+def extract_function_traces(path: PathLike, name: str) -> List[PathTrace]:
+    """Cold extraction of one function's unique path traces.
+
+    Opens the file, reads the header and the one relevant section.
+    This is the compacted-side operation of the paper's access-time
+    study (Table 4, column C; Table 5, TWPP extraction time).
+    """
+    with TwppReader(path) as reader:
+        return reader.unique_path_traces(name)
+
+
+def extract_function_record(path: PathLike, name: str) -> FunctionCompact:
+    """Cold extraction of one function's full compacted record."""
+    with TwppReader(path) as reader:
+        return reader.extract(name)

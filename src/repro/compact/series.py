@@ -1,0 +1,131 @@
+"""Arithmetic-series compaction of timestamp sequences.
+
+In TWPP form, a dynamic basic block that executes on successive loop
+iterations collects timestamps forming an arithmetic series.  The paper
+compacts such subsequences into entries of three shapes::
+
+    l           a singleton
+    l : h       the series l, l+1, ..., h          (step 1)
+    l : h : s   the series l, l+s, l+2s, ..., h    (step s)
+
+and, crucially, spends *no* extra integers on entry boundaries: the last
+number of every entry is stored negated, so the decoder knows an entry
+ended when it reads a negative value (Section 2, "Compacting TWPP path
+traces").  Entries therefore cost 1, 2 or 3 signed integers.
+
+This module implements the codec over plain Python ints; the on-disk
+format stores the signed stream with zigzag varints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+#: An entry in decoded form: (lo, hi, step).  Singletons have lo == hi.
+Entry = Tuple[int, int, int]
+
+
+def compress_series(timestamps: Sequence[int]) -> List[int]:
+    """Encode a strictly increasing positive sequence into signed entries.
+
+    Greedy maximal-run detection: at each position take the longest run
+    of constant stride.  A run is emitted as a series when it saves
+    space (stride 1 and length >= 2, or any stride and length >= 3);
+    otherwise values are emitted as singletons.
+    """
+    n = len(timestamps)
+    _validate_timestamps(timestamps)
+    out: List[int] = []
+    i = 0
+    while i < n:
+        if i + 1 < n:
+            step = timestamps[i + 1] - timestamps[i]
+            j = i + 1
+            while j + 1 < n and timestamps[j + 1] - timestamps[j] == step:
+                j += 1
+            length = j - i + 1
+        else:
+            step = 0
+            length = 1
+
+        if length >= 2 and step == 1:
+            out.append(timestamps[i])
+            out.append(-timestamps[i + length - 1])
+            i += length
+        elif length >= 3:
+            out.append(timestamps[i])
+            out.append(timestamps[i + length - 1])
+            out.append(-step)
+            i += length
+        else:
+            out.append(-timestamps[i])
+            i += 1
+    return out
+
+
+def iter_entries(stream: Sequence[int]) -> Iterator[Entry]:
+    """Yield (lo, hi, step) entries from a signed entry stream."""
+    pending: List[int] = []
+    for value in stream:
+        pending.append(value)
+        if value >= 0:
+            if len(pending) > 2:
+                raise ValueError("entry longer than 3 integers")
+            continue
+        if len(pending) == 1:
+            yield (-value, -value, 1)
+        elif len(pending) == 2:
+            lo, hi = pending[0], -value
+            if hi <= lo:
+                raise ValueError(f"series {lo}:{hi} is not increasing")
+            yield (lo, hi, 1)
+        else:
+            lo, hi, step = pending[0], pending[1], -value
+            if step <= 0:
+                raise ValueError(f"series step {step} must be positive")
+            if hi <= lo or (hi - lo) % step:
+                raise ValueError(f"malformed series {lo}:{hi}:{step}")
+            yield (lo, hi, step)
+        pending = []
+    if pending:
+        raise ValueError("entry stream ends mid-entry (no negative close)")
+
+
+def decompress_series(stream: Sequence[int]) -> List[int]:
+    """Expand a signed entry stream back to the full timestamp list."""
+    out: List[int] = []
+    for lo, hi, step in iter_entries(stream):
+        out.extend(range(lo, hi + 1, step))
+    return out
+
+
+def entry_count(stream: Sequence[int]) -> int:
+    """Number of entries in a signed entry stream.
+
+    The demand-driven analysis propagates one timestamp-vector *slot*
+    per entry (paper, Section 4.2), so this is the vector width.
+    """
+    return sum(1 for _ in iter_entries(stream))
+
+
+def series_len(stream: Sequence[int]) -> int:
+    """Number of timestamps represented (without expanding them)."""
+    return sum((hi - lo) // step + 1 for lo, hi, step in iter_entries(stream))
+
+
+def series_contains(stream: Sequence[int], value: int) -> bool:
+    """Membership test without expansion."""
+    for lo, hi, step in iter_entries(stream):
+        if lo <= value <= hi and (value - lo) % step == 0:
+            return True
+    return False
+
+
+def _validate_timestamps(timestamps: Sequence[int]) -> None:
+    prev = 0
+    for t in timestamps:
+        if t <= 0:
+            raise ValueError(f"timestamp {t} must be positive")
+        if t <= prev:
+            raise ValueError("timestamps must be strictly increasing")
+        prev = t

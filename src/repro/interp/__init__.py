@@ -1,0 +1,24 @@
+"""Execution substrate: interpreter plus trace hooks.
+
+Running a program through :func:`run_program` with a
+:class:`~repro.trace.wpp.WppBuilder` tracer is how this reproduction
+collects whole program paths (the paper collected them with the Trimaran
+compiler infrastructure on SPECint95).
+"""
+
+from .errors import FuelExhausted, InterpError, UndefinedVariable
+from .interpreter import DEFAULT_MAX_EVENTS, Interpreter, RunResult, run_program
+from .tracer import CountingTracer, ListTracer, NullTracer
+
+__all__ = [
+    "CountingTracer",
+    "DEFAULT_MAX_EVENTS",
+    "FuelExhausted",
+    "InterpError",
+    "Interpreter",
+    "ListTracer",
+    "NullTracer",
+    "RunResult",
+    "UndefinedVariable",
+    "run_program",
+]

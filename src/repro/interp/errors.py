@@ -1,0 +1,20 @@
+"""Interpreter error types."""
+
+from __future__ import annotations
+
+
+class InterpError(Exception):
+    """Base class for execution failures."""
+
+
+class FuelExhausted(InterpError):
+    """Raised when execution exceeds the configured event budget.
+
+    Synthetic workloads are generated rather than hand-proved to
+    terminate, so every run carries a fuel budget; hitting it is a
+    workload bug, not a silent truncation.
+    """
+
+
+class UndefinedVariable(InterpError):
+    """Raised when an expression reads a variable that was never assigned."""

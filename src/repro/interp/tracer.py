@@ -1,0 +1,68 @@
+"""Trace sinks for the interpreter.
+
+The interpreter reports three kinds of control-flow events, matching the
+structure of a whole program path:
+
+* ``enter(func_name)`` -- a function activation begins;
+* ``block(block_id)``  -- a basic block of the current activation runs;
+* ``leave()``          -- the current activation returns.
+
+Any object with those three methods can be passed as a tracer.  The real
+WPP collector lives in :mod:`repro.trace.wpp` (``WppBuilder``); the
+tracers here are the trivial sinks used by tests and by runs that do not
+need a trace.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class NullTracer:
+    """Discards all events (run the program, keep no trace)."""
+
+    def enter(self, func_name: str) -> None:
+        pass
+
+    def block(self, block_id: int) -> None:
+        pass
+
+    def leave(self) -> None:
+        pass
+
+
+class ListTracer:
+    """Records events as a list of tuples -- convenient in tests.
+
+    Events are ``("enter", name)``, ``("block", id)`` and ``("leave",)``.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Tuple] = []
+
+    def enter(self, func_name: str) -> None:
+        self.events.append(("enter", func_name))
+
+    def block(self, block_id: int) -> None:
+        self.events.append(("block", block_id))
+
+    def leave(self) -> None:
+        self.events.append(("leave",))
+
+
+class CountingTracer:
+    """Counts events without storing them (cheap sanity checks)."""
+
+    def __init__(self) -> None:
+        self.enters = 0
+        self.blocks = 0
+        self.leaves = 0
+
+    def enter(self, func_name: str) -> None:
+        self.enters += 1
+
+    def block(self, block_id: int) -> None:
+        self.blocks += 1
+
+    def leave(self) -> None:
+        self.leaves += 1

@@ -1,0 +1,137 @@
+"""Static program representation (the IR substrate).
+
+The paper traces SPECint95 binaries built with Trimaran; this package is
+the reproduction's stand-in compiler IR: programs made of functions,
+basic blocks, statements and terminators, plus the standard static
+analyses (dominators, control dependence, reaching definitions) that the
+dynamic applications in :mod:`repro.analysis` build on.
+"""
+
+from .builder import BlockBuilder, FunctionBuilder, ProgramBuilder
+from .control_dependence import control_dependence, control_dependence_children
+from .dataflow import (
+    ReachingDefinitions,
+    live_variables,
+    reaching_definitions,
+    statement_reaching_defs,
+)
+from .dominators import (
+    VIRTUAL_EXIT,
+    dominates,
+    dominator_tree,
+    function_dominators,
+    function_postdominators,
+    immediate_dominators,
+)
+from .expr import (
+    BINARY_OPS,
+    INTRINSICS,
+    UNARY_OPS,
+    BinOp,
+    Const,
+    Expr,
+    Intrinsic,
+    UnaryOp,
+    Var,
+    binop,
+    coerce,
+    const,
+    intrinsic,
+    var,
+)
+from .loops import NaturalLoop, back_edges, is_reducible, loop_nest_depth, natural_loops
+from .parser import ParseError, parse_function, parse_program
+from .module import (
+    BasicBlock,
+    Function,
+    IRError,
+    Program,
+    call_graph,
+    iter_statements,
+    verify_program,
+)
+from .printer import (
+    format_function,
+    format_program,
+    function_to_dot,
+    program_summary,
+)
+from .stmt import (
+    Assign,
+    Breakpoint,
+    Call,
+    CondJump,
+    Jump,
+    Load,
+    Read,
+    Return,
+    Stmt,
+    Store,
+    Switch,
+    Terminator,
+    Write,
+)
+
+__all__ = [
+    "BINARY_OPS",
+    "INTRINSICS",
+    "UNARY_OPS",
+    "Assign",
+    "BasicBlock",
+    "BinOp",
+    "BlockBuilder",
+    "Breakpoint",
+    "Call",
+    "CondJump",
+    "Const",
+    "Expr",
+    "Function",
+    "FunctionBuilder",
+    "IRError",
+    "Intrinsic",
+    "ParseError",
+    "Jump",
+    "Load",
+    "NaturalLoop",
+    "Program",
+    "ProgramBuilder",
+    "Read",
+    "ReachingDefinitions",
+    "Return",
+    "Stmt",
+    "Store",
+    "Switch",
+    "Terminator",
+    "UnaryOp",
+    "VIRTUAL_EXIT",
+    "Var",
+    "Write",
+    "back_edges",
+    "binop",
+    "call_graph",
+    "coerce",
+    "const",
+    "control_dependence",
+    "control_dependence_children",
+    "dominates",
+    "dominator_tree",
+    "format_function",
+    "format_program",
+    "function_dominators",
+    "function_postdominators",
+    "function_to_dot",
+    "immediate_dominators",
+    "intrinsic",
+    "is_reducible",
+    "iter_statements",
+    "live_variables",
+    "loop_nest_depth",
+    "natural_loops",
+    "parse_function",
+    "parse_program",
+    "program_summary",
+    "reaching_definitions",
+    "statement_reaching_defs",
+    "var",
+    "verify_program",
+]

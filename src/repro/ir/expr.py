@@ -1,0 +1,237 @@
+"""Expression trees for the repro IR.
+
+Expressions are small, immutable, side-effect free value computations.
+They appear inside statements (:mod:`repro.ir.stmt`) and terminators and
+are evaluated by the interpreter (:mod:`repro.interp.interpreter`).
+
+The expression language is intentionally tiny -- integers only -- because
+the paper's algorithms consume *control-flow traces*; the value language
+exists solely so synthetic workloads can steer control flow
+deterministically and so the data-flow applications (Section 4 of the
+paper) have defs/uses to reason about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Tuple
+
+
+class Expr:
+    """Base class for all expressions.
+
+    Subclasses are frozen dataclasses; expressions compare by structure
+    and are hashable, which the workload generator relies on for
+    common-subexpression bookkeeping.
+    """
+
+    __slots__ = ()
+
+    def variables(self) -> FrozenSet[str]:
+        """Return the set of variable names read by this expression."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Expr", ...]:
+        """Return direct sub-expressions (empty for leaves)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """An integer literal."""
+
+    value: int
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def children(self) -> Tuple[Expr, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A read of a local variable."""
+
+    name: str
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def children(self) -> Tuple[Expr, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Binary operators understood by the interpreter.  Comparison operators
+#: evaluate to 0/1 so the IR needs no separate boolean type.
+BINARY_OPS: Dict[str, Callable[[int, int], int]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "//": lambda a, b: _checked_div(a, b),
+    "%": lambda a, b: _checked_mod(a, b),
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    ">>": lambda a, b: a >> b,
+    "<<": lambda a, b: a << b,
+}
+
+UNARY_OPS: Dict[str, Callable[[int], int]] = {
+    "-": lambda a: -a,
+    "!": lambda a: int(a == 0),
+}
+
+
+def _checked_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("IR integer division by zero")
+    return a // b
+
+
+def _checked_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("IR integer modulo by zero")
+    return a % b
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary operation ``left op right``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """A unary operation ``op operand``."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+    def variables(self) -> FrozenSet[str]:
+        return self.operand.variables()
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+#: Pure intrinsic functions usable in expressions.  The paper's examples
+#: use opaque functions f1/f2/f3 (Figure 10); we give them concrete,
+#: deterministic integer definitions so traces are reproducible.
+INTRINSICS: Dict[str, Callable[..., int]] = {
+    "f1": lambda x: 2 * x + 1,
+    "f2": lambda x: 3 * x - 1,
+    "f3": lambda x: x * x + x,
+    "abs": lambda x: abs(x),
+    "min": lambda a, b: min(a, b),
+    "max": lambda a, b: max(a, b),
+    # Linear congruential step used by synthetic workloads to evolve
+    # their path-selector state entirely inside the IR.
+    "lcg": lambda x: (x * 1103515245 + 12345) % 2147483648,
+}
+
+
+@dataclass(frozen=True)
+class Intrinsic(Expr):
+    """A call to a pure, built-in integer function.
+
+    Unlike :class:`repro.ir.stmt.Call`, an intrinsic never transfers
+    control to IR code and therefore never appears in the WPP.
+    """
+
+    name: str
+    args: Tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if self.name not in INTRINSICS:
+            raise ValueError(f"unknown intrinsic {self.name!r}")
+
+    def variables(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            out |= arg.variables()
+        return out
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+def const(value: int) -> Const:
+    """Shorthand constructor for :class:`Const`."""
+    return Const(value)
+
+
+def var(name: str) -> Var:
+    """Shorthand constructor for :class:`Var`."""
+    return Var(name)
+
+
+def binop(op: str, left: "Expr | int | str", right: "Expr | int | str") -> BinOp:
+    """Shorthand constructor for :class:`BinOp` with auto-coercion.
+
+    Plain ints become :class:`Const` and plain strings become
+    :class:`Var`, which keeps builder code readable::
+
+        binop("+", "i", 1)     # i + 1
+    """
+    return BinOp(op, coerce(left), coerce(right))
+
+
+def intrinsic(name: str, *args: "Expr | int | str") -> Intrinsic:
+    """Shorthand constructor for :class:`Intrinsic` with auto-coercion."""
+    return Intrinsic(name, tuple(coerce(a) for a in args))
+
+
+def coerce(value: "Expr | int | str") -> Expr:
+    """Coerce ``value`` into an expression.
+
+    ints become :class:`Const`, strs become :class:`Var`, and existing
+    expressions pass through unchanged.
+    """
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; normalize
+        return Const(int(value))
+    if isinstance(value, int):
+        return Const(value)
+    if isinstance(value, str):
+        return Var(value)
+    raise TypeError(f"cannot coerce {value!r} to an expression")

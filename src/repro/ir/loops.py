@@ -1,0 +1,134 @@
+"""Natural loop detection over function CFGs.
+
+Standard dominator-based loop analysis: a *back edge* is an edge whose
+target dominates its source; the *natural loop* of a back edge
+``n -> h`` is ``h`` plus every node that reaches ``n`` without passing
+through ``h``.  The workload generator's loops, the DBB chains of
+Section 2, and the arithmetic timestamp series of Section 4 all live
+inside natural loops, so this analysis is the static counterpart used
+by tests and tooling to explain *why* a trace compacts the way it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .dominators import dominates, function_dominators
+from .module import Function
+
+
+@dataclass(frozen=True)
+class NaturalLoop:
+    """One natural loop: header, body blocks and its back edges."""
+
+    header: int
+    body: FrozenSet[int]  # includes the header
+    back_edges: Tuple[Tuple[int, int], ...]
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self.body
+
+    def __len__(self) -> int:
+        return len(self.body)
+
+
+def back_edges(func: Function) -> List[Tuple[int, int]]:
+    """All back edges ``(src, header)`` of a function's CFG, sorted."""
+    idom = function_dominators(func)
+    edges = []
+    for src in func.block_ids():
+        if src not in idom:
+            continue  # unreachable
+        for dst in func.successors(src):
+            if dst in idom and dominates(idom, dst, src):
+                edges.append((src, dst))
+    edges.sort()
+    return edges
+
+
+def natural_loops(func: Function) -> List[NaturalLoop]:
+    """The natural loops of a function, one per header, sorted by header.
+
+    Back edges sharing a header are merged into a single loop, the
+    usual convention.
+    """
+    preds = func.predecessors()
+    by_header: Dict[int, List[Tuple[int, int]]] = {}
+    for src, header in back_edges(func):
+        by_header.setdefault(header, []).append((src, header))
+
+    loops: List[NaturalLoop] = []
+    for header in sorted(by_header):
+        body: Set[int] = {header}
+        stack: List[int] = []
+        for src, _h in by_header[header]:
+            if src not in body:
+                body.add(src)
+                stack.append(src)
+        while stack:
+            node = stack.pop()
+            for p in preds[node]:
+                if p not in body:
+                    body.add(p)
+                    stack.append(p)
+        loops.append(
+            NaturalLoop(
+                header=header,
+                body=frozenset(body),
+                back_edges=tuple(sorted(by_header[header])),
+            )
+        )
+    return loops
+
+
+def loop_nest_depth(func: Function) -> Dict[int, int]:
+    """Per-block loop nesting depth (0 = outside any loop)."""
+    depth = {bid: 0 for bid in func.block_ids()}
+    for loop in natural_loops(func):
+        for block in loop.body:
+            depth[block] += 1
+    return depth
+
+
+def is_reducible(func: Function) -> bool:
+    """True when every cycle is a natural loop (no irreducible regions).
+
+    Checked the classic way: iteratively collapse natural loops; a
+    reducible CFG collapses to a single node.  Structured-builder
+    output is always reducible; hand-written IR may not be.
+    """
+    # Work on a mutable copy of the edge relation.
+    nodes: Set[int] = set(func.block_ids())
+    succs: Dict[int, Set[int]] = {
+        b: set(func.successors(b)) for b in nodes
+    }
+    entry = func.entry
+
+    changed = True
+    while changed and len(nodes) > 1:
+        changed = False
+        # T1: remove self loops.
+        for n in nodes:
+            if n in succs[n]:
+                succs[n].discard(n)
+                changed = True
+        # T2: merge a node with its unique predecessor.
+        preds: Dict[int, Set[int]] = {n: set() for n in nodes}
+        for n in nodes:
+            for s in succs[n]:
+                preds[s].add(n)
+        for n in list(nodes):
+            if n == entry:
+                continue
+            if len(preds[n]) == 1:
+                (p,) = preds[n]
+                succs[p].discard(n)
+                # Merging may introduce p -> p; the next T1 pass
+                # removes it.
+                succs[p] |= succs[n]
+                nodes.discard(n)
+                del succs[n]
+                changed = True
+                break
+    return len(nodes) == 1

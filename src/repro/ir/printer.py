@@ -1,0 +1,63 @@
+"""Textual and Graphviz rendering of IR programs.
+
+Purely for humans: examples and debugging print programs in a compact
+form, and the Graphviz output helps when eyeballing generated workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .module import Function, Program
+
+
+def format_function(func: Function) -> str:
+    """Render one function as indented text."""
+    lines: List[str] = [
+        f"func {func.name}({', '.join(func.params)}) entry=B{func.entry} {{"
+    ]
+    for bid in func.block_ids():
+        block = func.blocks[bid]
+        label = f"  // {block.label}" if block.label else ""
+        lines.append(f"  B{bid}:{label}")
+        for stmt in block.statements:
+            lines.append(f"    {stmt}")
+        lines.append(f"    {block.terminator}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program as text, main first."""
+    names = [program.main] + [
+        n for n in program.function_names() if n != program.main
+    ]
+    return "\n\n".join(format_function(program.function(n)) for n in names)
+
+
+def function_to_dot(func: Function) -> str:
+    """Render a function's CFG in Graphviz DOT syntax."""
+    lines = [f'digraph "{func.name}" {{', "  node [shape=box, fontname=monospace];"]
+    for bid in func.block_ids():
+        block = func.blocks[bid]
+        body = "\\l".join(str(s) for s in block.statements)
+        if body:
+            body += "\\l"
+        label = f"B{bid}\\n{body}{block.terminator}"
+        label = label.replace('"', '\\"')
+        lines.append(f'  B{bid} [label="{label}"];')
+    for src, dst in func.edges():
+        lines.append(f"  B{src} -> B{dst};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def program_summary(program: Program) -> str:
+    """One line per function: block and edge counts."""
+    rows = []
+    for func in program:
+        rows.append(
+            f"{func.name}: {len(func.blocks)} blocks, "
+            f"{len(func.edges())} edges, entry B{func.entry}"
+        )
+    return "\n".join(rows)

@@ -1,0 +1,266 @@
+"""The Sequitur grammar-inference algorithm (Nevill-Manning & Witten).
+
+Larus's whole-program-path work (PLDI 1999) compresses the linear WPP
+with Sequitur; the paper reproduced here uses that representation as its
+baseline (Table 5).  This is a faithful from-scratch port of the
+reference implementation: an online algorithm maintaining two
+invariants over a grammar that generates exactly one string --
+
+* **digram uniqueness**: no pair of adjacent symbols occurs more than
+  once in the grammar (a repeated digram becomes a rule), and
+* **rule utility**: every rule is referenced at least twice (a rule
+  used once is inlined and deleted).
+
+Symbols live in doubly-linked lists bracketed by per-rule guard nodes;
+the digram index maps value pairs to their single recorded occurrence.
+
+Terminals are arbitrary hashable ints; the WPP codec feeds packed trace
+events straight in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+
+class _Rule:
+    """A grammar rule: a circular symbol list headed by a guard node."""
+
+    __slots__ = ("guard", "count", "number")
+
+    def __init__(self) -> None:
+        self.count = 0  # references from non-terminals
+        self.number = -1  # assigned during freezing
+        self.guard = _Symbol(self, is_guard=True)
+        self.guard.next = self.guard
+        self.guard.prev = self.guard
+
+    def first(self) -> "_Symbol":
+        return self.guard.next
+
+    def last(self) -> "_Symbol":
+        return self.guard.prev
+
+
+Value = Union[int, _Rule]
+
+
+class _Symbol:
+    """One node of a rule's symbol list.
+
+    ``value`` is a terminal int or a :class:`_Rule` (non-terminal).
+    Guard nodes carry their owning rule as value with ``is_guard`` set.
+    """
+
+    __slots__ = ("value", "prev", "next", "is_guard")
+
+    def __init__(self, value: Value, is_guard: bool = False) -> None:
+        self.value = value
+        self.prev: Optional["_Symbol"] = None
+        self.next: Optional["_Symbol"] = None
+        self.is_guard = is_guard
+
+    def is_nonterminal(self) -> bool:
+        return not self.is_guard and isinstance(self.value, _Rule)
+
+    def rule(self) -> _Rule:
+        assert isinstance(self.value, _Rule)
+        return self.value
+
+
+class SequiturBuilder:
+    """Online Sequitur over a stream of integer terminals."""
+
+    def __init__(self) -> None:
+        self.start = _Rule()
+        # digram key -> the unique recorded occurrence (its first symbol)
+        self.index: Dict[Tuple, _Symbol] = {}
+
+    # ---- digram index --------------------------------------------------
+
+    @staticmethod
+    def _key(symbol: _Symbol) -> Tuple:
+        a, b = symbol.value, symbol.next.value  # type: ignore[union-attr]
+        ka = a if isinstance(a, int) else id(a)
+        kb = b if isinstance(b, int) else id(b)
+        ta = 0 if isinstance(a, int) else 1
+        tb = 0 if isinstance(b, int) else 1
+        return (ta, ka, tb, kb)
+
+    def _index_insert(self, symbol: _Symbol) -> None:
+        self.index[self._key(symbol)] = symbol
+
+    def _index_delete(self, symbol: _Symbol) -> None:
+        key = self._key(symbol)
+        if self.index.get(key) is symbol:
+            del self.index[key]
+
+    def _delete_digram(self, symbol: _Symbol) -> None:
+        if symbol.is_guard or symbol.next.is_guard:  # type: ignore[union-attr]
+            return
+        self._index_delete(symbol)
+
+    # ---- linked-list surgery -------------------------------------------
+
+    def _join(self, left: _Symbol, right: _Symbol) -> None:
+        if left.next is not None:
+            self._delete_digram(left)
+            # Triple handling from the reference implementation: with
+            # overlapping digrams (e.g. "aaa") only the second pair is
+            # recorded; when the second pair dies, resurrect the first.
+            if (
+                right.prev is not None
+                and right.next is not None
+                and not right.is_guard
+                and _values_equal(right.value, right.prev.value)
+                and _values_equal(right.value, right.next.value)
+            ):
+                self._index_insert(right)
+            if (
+                left.prev is not None
+                and left.next is not None
+                and not left.is_guard
+                and _values_equal(left.value, left.next.value)
+                and _values_equal(left.value, left.prev.value)
+            ):
+                self._index_insert(left.prev)
+        left.next = right
+        right.prev = left
+
+    def _insert_after(self, anchor: _Symbol, symbol: _Symbol) -> None:
+        self._join(symbol, anchor.next)  # type: ignore[arg-type]
+        self._join(anchor, symbol)
+
+    def _remove(self, symbol: _Symbol) -> None:
+        """Unlink a symbol (the reference implementation's destructor)."""
+        self._join(symbol.prev, symbol.next)  # type: ignore[arg-type]
+        if not symbol.is_guard:
+            self._delete_digram(symbol)
+            if symbol.is_nonterminal():
+                symbol.rule().count -= 1
+
+    # ---- the two invariants ----------------------------------------------
+
+    def _check(self, symbol: _Symbol) -> bool:
+        """Enforce digram uniqueness for the digram starting at ``symbol``."""
+        if symbol.is_guard or symbol.next.is_guard:  # type: ignore[union-attr]
+            return False
+        key = self._key(symbol)
+        match = self.index.get(key)
+        if match is None:
+            self.index[key] = symbol
+            return False
+        if match.next is not symbol:  # non-overlapping occurrence
+            self._match(symbol, match)
+        return True
+
+    def _match(self, symbol: _Symbol, match: _Symbol) -> None:
+        if match.prev.is_guard and match.next.next.is_guard:  # type: ignore[union-attr]
+            # The matching digram is exactly a rule's whole body: reuse it.
+            rule = match.prev.value  # type: ignore[union-attr]
+            assert isinstance(rule, _Rule)
+            self._substitute(symbol, rule)
+        else:
+            rule = _Rule()
+            self._insert_after(rule.last(), self._copy_symbol(symbol))
+            self._insert_after(rule.last(), self._copy_symbol(symbol.next))
+            self._substitute(match, rule)
+            self._substitute(symbol, rule)
+            self._index_insert(rule.first())
+        # Rule utility: inline a rule-body head that is now used once.
+        first = rule.first()
+        if first.is_nonterminal() and first.rule().count == 1:
+            self._expand(first)
+
+    def _copy_symbol(self, symbol: _Symbol) -> _Symbol:
+        value = symbol.value
+        if isinstance(value, _Rule):
+            value.count += 1
+        return _Symbol(value)
+
+    def _substitute(self, symbol: _Symbol, rule: _Rule) -> None:
+        """Replace the digram at ``symbol`` with a reference to ``rule``."""
+        anchor = symbol.prev
+        assert anchor is not None
+        self._remove(anchor.next)  # type: ignore[arg-type]
+        self._remove(anchor.next)  # type: ignore[arg-type]
+        rule.count += 1
+        self._insert_after(anchor, _Symbol(rule))
+        if not self._check(anchor):
+            self._check(anchor.next)  # type: ignore[arg-type]
+
+    def _expand(self, symbol: _Symbol) -> None:
+        """Inline a once-used rule at its sole reference (rule utility).
+
+        Mirrors the reference implementation's ``expand``: drop the
+        reference symbol and the rule's guard, splice the body between
+        the reference's neighbours, and record the right-seam digram.
+        """
+        rule = symbol.rule()
+        left = symbol.prev
+        right = symbol.next
+        first = rule.first()
+        last = rule.last()
+
+        assert left is not None and right is not None
+        self._delete_digram(symbol)  # forget (symbol, right)
+        self._join(left, right)  # unlink symbol; forgets (left, symbol)
+        self._join(left, first)
+        self._join(last, right)
+        self._index_insert(last)
+
+    # ---- public API ------------------------------------------------------
+
+    def append(self, terminal: int) -> None:
+        """Feed one terminal into the grammar."""
+        if not isinstance(terminal, int) or terminal < 0:
+            raise ValueError("terminals must be non-negative ints")
+        self._insert_after(self.start.last(), _Symbol(terminal))
+        if self.start.first() is not self.start.last():
+            self._check(self.start.last().prev)  # type: ignore[arg-type]
+
+    def extend(self, terminals: Iterable[int]) -> None:
+        """Feed many terminals."""
+        for t in terminals:
+            self.append(t)
+
+    def freeze(self) -> "Grammar":
+        """Produce the immutable grammar (rule 0 generates the input)."""
+        from .grammar import Grammar
+
+        rules: List[_Rule] = [self.start]
+        numbering: Dict[int, int] = {id(self.start): 0}
+        bodies: List[List[int]] = []
+        cursor = 0
+        while cursor < len(rules):
+            rule = rules[cursor]
+            body: List[int] = []
+            node = rule.first()
+            while not node.is_guard:
+                if node.is_nonterminal():
+                    sub = node.rule()
+                    num = numbering.get(id(sub))
+                    if num is None:
+                        num = len(rules)
+                        numbering[id(sub)] = num
+                        rules.append(sub)
+                    body.append(-(num + 1))
+                else:
+                    body.append(node.value)  # type: ignore[arg-type]
+                node = node.next  # type: ignore[assignment]
+            bodies.append(body)
+            cursor += 1
+        return Grammar(rules=[tuple(b) for b in bodies])
+
+
+def _values_equal(a: Value, b: Value) -> bool:
+    if isinstance(a, _Rule) or isinstance(b, _Rule):
+        return a is b
+    return a == b
+
+
+def build_grammar(terminals: Iterable[int]) -> "Grammar":
+    """Run Sequitur over a terminal sequence and return the grammar."""
+    builder = SequiturBuilder()
+    builder.extend(terminals)
+    return builder.freeze()

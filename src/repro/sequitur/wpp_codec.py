@@ -1,0 +1,140 @@
+"""Compressing WPPs with Sequitur and extracting per-function traces.
+
+This is the baseline side of the paper's Table 5.  The whole linear
+event stream is fed to Sequitur as one terminal sequence; the resulting
+grammar *is* the compressed WPP (Larus, PLDI 1999).
+
+Extraction of one function's path traces from this representation
+"essentially requires two steps: reading in the grammar and then
+processing it" (Section 3): unlike the ``.twpp`` index there is no way
+to jump to a function's data, so the processing step walks the entire
+expansion.  :func:`read_step` and :func:`process_step` are split so the
+benchmark harness can report the two components separately, as the
+paper's Table 5 does (``read + process = total``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple, Union
+
+from ..trace.wpp import BLOCK, ENTER, LEAVE, WppTrace
+from .algorithm import build_grammar
+from .grammar import Grammar
+
+PathLike = Union[str, "os.PathLike[str]"]
+PathTrace = Tuple[int, ...]
+
+# The compressed file stores the function name table ahead of the
+# grammar so extraction can resolve names; layout:
+#   SQWP | uvarint n | names | grammar bytes
+MAGIC = b"SQWP"
+
+
+def compress_wpp(wpp: WppTrace) -> Grammar:
+    """Run Sequitur over a WPP's packed event stream."""
+    return build_grammar(wpp.events)
+
+
+def serialize_compressed_wpp(wpp: WppTrace, grammar: Grammar) -> bytes:
+    """Bundle the function table and grammar into one blob."""
+    from ..trace.encoding import write_string, write_uvarint
+
+    buf = bytearray()
+    buf.extend(MAGIC)
+    write_uvarint(buf, len(wpp.func_names))
+    for name in wpp.func_names:
+        write_string(buf, name)
+    buf.extend(grammar.serialize())
+    return bytes(buf)
+
+
+def write_compressed_wpp(wpp: WppTrace, path: PathLike) -> int:
+    """Compress and write a WPP; returns bytes written."""
+    data = serialize_compressed_wpp(wpp, compress_wpp(wpp))
+    with open(path, "wb") as fh:
+        fh.write(data)
+    return len(data)
+
+
+def read_step(path: PathLike) -> Tuple[List[str], Grammar]:
+    """Table 5 "read": load the file and decode the grammar."""
+    from ..trace.encoding import read_string, read_uvarint
+
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if data[:4] != MAGIC:
+        raise ValueError("not a Sequitur-compressed WPP file")
+    offset = 4
+    n_funcs, offset = read_uvarint(data, offset)
+    names: List[str] = []
+    for _ in range(n_funcs):
+        name, offset = read_string(data, offset)
+        names.append(name)
+    grammar = Grammar.deserialize(data[offset:])
+    return names, grammar
+
+
+#: Expansion sanity bound: a grammar claiming to generate more events
+#: than any collectable trace is corrupt (a small DAG grammar can claim
+#: exponential length, which would hang or OOM the expander).
+MAX_EXPANSION = 1 << 31
+
+
+def _check_expansion(grammar: Grammar) -> None:
+    length = grammar.expanded_length()  # also rejects cyclic grammars
+    if length > MAX_EXPANSION:
+        raise ValueError(
+            f"grammar expands to {length} events, beyond the sanity bound"
+        )
+
+
+def process_step(
+    names: List[str], grammar: Grammar, func_name: str
+) -> List[PathTrace]:
+    """Table 5 "process": walk the whole expansion collecting one function.
+
+    Returns one path trace per activation of ``func_name`` (duplicates
+    included; the grammar preserves the raw stream).
+    """
+    _check_expansion(grammar)
+    try:
+        target = names.index(func_name)
+    except ValueError:
+        return []
+
+    results: List[PathTrace] = []
+    # Per open activation: a block list for the target function, None
+    # for anything else.
+    stack: List[object] = []
+    for packed in grammar.expand_iter():
+        kind = packed & 0x3
+        arg = packed >> 2
+        if kind == ENTER:
+            stack.append([] if arg == target else None)
+        elif kind == BLOCK:
+            if stack and stack[-1] is not None:
+                stack[-1].append(arg)  # type: ignore[union-attr]
+        elif kind == LEAVE:
+            top = stack.pop()
+            if top is not None:
+                results.append(tuple(top))  # type: ignore[arg-type]
+    return results
+
+
+def extract_function_traces_sequitur(
+    path: PathLike, func_name: str
+) -> List[PathTrace]:
+    """Cold extraction (read + process) -- the operation Table 5 times."""
+    names, grammar = read_step(path)
+    return process_step(names, grammar, func_name)
+
+
+def decompress_wpp(path: PathLike) -> WppTrace:
+    """Regenerate the full WPP from a compressed file (lossless check)."""
+    from array import array
+
+    names, grammar = read_step(path)
+    _check_expansion(grammar)
+    events = array("Q", grammar.expand_iter())
+    return WppTrace(func_names=names, events=events)

@@ -1,0 +1,55 @@
+"""Whole program path collection, modelling and storage.
+
+This package owns the raw (uncompacted) side of the paper: the WPP event
+model, collection from the interpreter, the linear ``.wpp`` file format,
+and the first structural transformation -- partitioning into per-call
+path traces linked by a dynamic call graph.
+"""
+
+from .dcg import DynamicCallGraph
+from .format import read_wpp, scan_function_traces, wpp_file_size, write_wpp
+from .online import OnlinePartitioner, collect_partitioned
+from .partition import PartitionedWpp, PathTrace, partition_wpp
+from .reconstruct import (
+    block_call_counts,
+    rebuild_parents,
+    reconstruct_wpp,
+    trace_call_count,
+)
+from .wpp import (
+    BLOCK,
+    ENTER,
+    LEAVE,
+    WppBuilder,
+    WppTrace,
+    collect_wpp,
+    pack_event,
+    trace_from_tuples,
+    unpack_event,
+)
+
+__all__ = [
+    "BLOCK",
+    "DynamicCallGraph",
+    "ENTER",
+    "LEAVE",
+    "OnlinePartitioner",
+    "PartitionedWpp",
+    "PathTrace",
+    "WppBuilder",
+    "WppTrace",
+    "block_call_counts",
+    "collect_partitioned",
+    "collect_wpp",
+    "pack_event",
+    "partition_wpp",
+    "read_wpp",
+    "rebuild_parents",
+    "reconstruct_wpp",
+    "scan_function_traces",
+    "trace_call_count",
+    "trace_from_tuples",
+    "unpack_event",
+    "wpp_file_size",
+    "write_wpp",
+]

@@ -1,0 +1,153 @@
+"""Variable-length integer encoding shared by all on-disk formats.
+
+Unsigned values use LEB128 (7 bits per byte, high bit = continuation).
+Signed values use zigzag mapping onto unsigned varints, which the
+compacted TWPP format needs because series boundaries are encoded in the
+*sign* of the last element of each entry (paper, Section 2, "Compacting
+TWPP path traces").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+
+def write_uvarint(buf: bytearray, value: int) -> None:
+    """Append one unsigned LEB128 varint to ``buf``."""
+    if value < 0:
+        raise ValueError(f"uvarint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            buf.append(byte | 0x80)
+        else:
+            buf.append(byte)
+            return
+
+
+def read_uvarint(data, offset: int) -> Tuple[int, int]:
+    """Read one unsigned varint from ``data`` at ``offset``.
+
+    Returns ``(value, next_offset)``.
+    """
+    result = 0
+    shift = 0
+    while True:
+        try:
+            byte = data[offset]
+        except IndexError:
+            raise ValueError("truncated varint") from None
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint too long")
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed int to an unsigned one (0,-1,1,-2,... -> 0,1,2,3,...)."""
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    if value & 1:
+        return -((value + 1) >> 1)
+    return value >> 1
+
+
+def write_svarint(buf: bytearray, value: int) -> None:
+    """Append one signed (zigzag) varint to ``buf``."""
+    write_uvarint(buf, zigzag_encode(value))
+
+
+def read_svarint(data, offset: int) -> Tuple[int, int]:
+    """Read one signed (zigzag) varint; returns ``(value, next_offset)``."""
+    raw, offset = read_uvarint(data, offset)
+    return zigzag_decode(raw), offset
+
+
+def write_uvarint_list(buf: bytearray, values: Iterable[int]) -> None:
+    """Append a length-prefixed list of unsigned varints."""
+    values = list(values)
+    write_uvarint(buf, len(values))
+    for v in values:
+        write_uvarint(buf, v)
+
+
+def read_uvarint_list(data, offset: int) -> Tuple[List[int], int]:
+    """Read a length-prefixed list of unsigned varints."""
+    count, offset = read_uvarint(data, offset)
+    out = []
+    for _ in range(count):
+        value, offset = read_uvarint(data, offset)
+        out.append(value)
+    return out, offset
+
+
+def write_svarint_list(buf: bytearray, values: Iterable[int]) -> None:
+    """Append a length-prefixed list of signed varints."""
+    values = list(values)
+    write_uvarint(buf, len(values))
+    for v in values:
+        write_svarint(buf, v)
+
+
+def read_svarint_list(data, offset: int) -> Tuple[List[int], int]:
+    """Read a length-prefixed list of signed varints."""
+    count, offset = read_uvarint(data, offset)
+    out = []
+    for _ in range(count):
+        value, offset = read_svarint(data, offset)
+        out.append(value)
+    return out, offset
+
+
+def check_count(count: int, data, offset: int, min_bytes: int = 1) -> None:
+    """Reject element counts that cannot fit in the remaining input.
+
+    Every decoded element consumes at least ``min_bytes`` bytes, so a
+    count exceeding the remaining length proves corruption.  Without
+    this check a single flipped bit in a length field can drive a
+    multi-gigabyte allocation before any per-element read fails.
+    """
+    remaining = len(data) - offset
+    if count < 0 or count * min_bytes > remaining:
+        raise ValueError(
+            f"corrupt count {count}: only {remaining} byte(s) remain"
+        )
+
+
+def write_string(buf: bytearray, text: str) -> None:
+    """Append a length-prefixed UTF-8 string."""
+    raw = text.encode("utf-8")
+    write_uvarint(buf, len(raw))
+    buf.extend(raw)
+
+
+def read_string(data, offset: int) -> Tuple[str, int]:
+    """Read a length-prefixed UTF-8 string."""
+    length, offset = read_uvarint(data, offset)
+    raw = bytes(data[offset : offset + length])
+    if len(raw) != length:
+        raise ValueError("truncated string")
+    return raw.decode("utf-8"), offset + length
+
+
+def uvarint_size(value: int) -> int:
+    """Byte length of ``value`` as an unsigned varint (without encoding it)."""
+    if value < 0:
+        raise ValueError("negative value")
+    size = 1
+    while value >= 0x80:
+        value >>= 7
+        size += 1
+    return size
+
+
+def svarint_size(value: int) -> int:
+    """Byte length of ``value`` as a signed (zigzag) varint."""
+    return uvarint_size(zigzag_encode(value))

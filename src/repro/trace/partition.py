@@ -1,0 +1,135 @@
+"""Partitioning a WPP into per-call path traces plus a DCG.
+
+This is the first transformation of the paper's compaction pipeline
+(Figure 2): break the linear WPP into one *path trace* per function
+activation and keep a dynamic call graph linking them so the WPP remains
+reconstructible.  Redundant-trace elimination (Figure 3) falls out of
+the same pass: identical traces of the same function share one entry in
+the function's unique-trace table, and both the pre- and post-dedup
+sizes are recoverable from the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .dcg import DynamicCallGraph
+from .encoding import uvarint_size
+from .wpp import BLOCK, ENTER, LEAVE, WppTrace
+
+PathTrace = Tuple[int, ...]
+
+
+@dataclass
+class PartitionedWpp:
+    """A WPP broken into unique path traces linked by a DCG.
+
+    ``traces[f]`` is the unique-trace table of function index ``f``;
+    DCG nodes reference entries of their function's table.
+    """
+
+    func_names: List[str]
+    dcg: DynamicCallGraph
+    traces: List[List[PathTrace]] = field(default_factory=list)
+
+    def func_index(self, name: str) -> int:
+        """Function-name -> index lookup."""
+        try:
+            return self.func_names.index(name)
+        except ValueError:
+            raise KeyError(f"function {name!r} not in partitioned WPP") from None
+
+    def unique_traces(self, name: str) -> List[PathTrace]:
+        """The unique path traces of a function, in first-seen order."""
+        return self.traces[self.func_index(name)]
+
+    def call_counts(self) -> Dict[str, int]:
+        """Activation counts per function name."""
+        per_index = self.dcg.calls_per_function(len(self.func_names))
+        return {name: per_index[i] for i, name in enumerate(self.func_names)}
+
+    def unique_trace_counts(self) -> Dict[str, int]:
+        """Number of *unique* traces per function name (Figure 8 input)."""
+        return {
+            name: len(self.traces[i]) for i, name in enumerate(self.func_names)
+        }
+
+    # ---- size accounting (Tables 1 and 2) -----------------------------
+
+    def trace_bytes_with_redundancy(self) -> int:
+        """Serialized size of all per-activation traces *before* dedup.
+
+        This is the "WPP traces" column of Table 1: every activation
+        pays for its own copy of its path trace.
+        """
+        per_trace_size = [
+            [_trace_size(t) for t in table] for table in self.traces
+        ]
+        total = 0
+        for func_idx, trace_id in zip(self.dcg.node_func, self.dcg.node_trace):
+            total += per_trace_size[func_idx][trace_id]
+        return total
+
+    def trace_bytes_deduped(self) -> int:
+        """Serialized size of the unique-trace tables (after dedup).
+
+        This is the "after redundancy removal" column of Table 2.
+        """
+        return sum(
+            _trace_size(t) for table in self.traces for t in table
+        )
+
+    def dcg_bytes(self) -> int:
+        """Serialized size of the dynamic call graph."""
+        return len(self.dcg.serialize())
+
+
+def _trace_size(trace: PathTrace) -> int:
+    """Bytes to store one path trace as length-prefixed varints."""
+    return uvarint_size(len(trace)) + sum(uvarint_size(b) for b in trace)
+
+
+def partition_wpp(wpp: WppTrace) -> PartitionedWpp:
+    """Break a WPP into unique path traces linked by a DCG.
+
+    One pass over the event stream with an activation stack; traces are
+    deduplicated on the fly (hash-consed per function).
+    """
+    dcg = DynamicCallGraph()
+    traces: List[List[PathTrace]] = [[] for _ in wpp.func_names]
+    intern: List[Dict[PathTrace, int]] = [{} for _ in wpp.func_names]
+
+    # Stack of (node index, list of block ids executed so far).
+    stack: List[Tuple[int, List[int]]] = []
+
+    for kind, arg in wpp.iter_events():
+        if kind == ENTER:
+            parent = stack[-1][0] if stack else -1
+            node = dcg.add_node(arg, parent)
+            stack.append((node, []))
+        elif kind == BLOCK:
+            if not stack:
+                raise ValueError("BLOCK event outside any activation")
+            stack[-1][1].append(arg)
+        elif kind == LEAVE:
+            if not stack:
+                raise ValueError("unbalanced LEAVE event")
+            node, blocks = stack.pop()
+            func_idx = dcg.node_func[node]
+            trace = tuple(blocks)
+            trace_id = intern[func_idx].get(trace)
+            if trace_id is None:
+                trace_id = len(traces[func_idx])
+                traces[func_idx].append(trace)
+                intern[func_idx][trace] = trace_id
+            dcg.set_trace(node, trace_id)
+        else:  # pragma: no cover - pack/unpack guarantees kind in {0,1,2}
+            raise ValueError(f"unknown event kind {kind}")
+
+    if stack:
+        raise ValueError(f"{len(stack)} activations never closed")
+
+    return PartitionedWpp(
+        func_names=list(wpp.func_names), dcg=dcg, traces=traces
+    )

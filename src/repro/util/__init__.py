@@ -1,0 +1,6 @@
+"""Small shared utilities (deterministic RNG, timing helpers)."""
+
+from .lcg import Lcg
+from .timing import Timer
+
+__all__ = ["Lcg", "Timer"]

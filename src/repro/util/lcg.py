@@ -1,0 +1,77 @@
+"""A tiny deterministic linear congruential generator.
+
+Used by the workload generator instead of :mod:`random` so that
+generated programs -- and therefore every trace, table and figure -- are
+bit-for-bit reproducible across Python versions (``random``'s
+distribution methods have changed historically; this one is frozen).
+Same constants as glibc's ``rand``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+_A = 1103515245
+_C = 12345
+_M = 2**31
+
+
+class Lcg:
+    """Seeded LCG with the small sampling helpers the generator needs."""
+
+    def __init__(self, seed: int):
+        self.state = seed % _M
+
+    def next(self) -> int:
+        """Advance and return the next raw state in [0, 2**31)."""
+        self.state = (self.state * _A + _C) % _M
+        return self.state
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi] inclusive."""
+        if hi < lo:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        return lo + self.next() % (hi - lo + 1)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self.next() / _M
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Uniform choice from a non-empty sequence."""
+        if not items:
+            raise ValueError("empty sequence")
+        return items[self.next() % len(items)]
+
+    def weighted_index(self, weights: Sequence[float]) -> int:
+        """Sample an index proportionally to ``weights``."""
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        x = self.random() * total
+        acc = 0.0
+        for i, w in enumerate(weights):
+            acc += w
+            if x < acc:
+                return i
+        return len(weights) - 1
+
+    def shuffle(self, items: List[T]) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.next() % (i + 1)
+            items[i], items[j] = items[j], items[i]
+
+
+def zipf_weights(n: int, skew: float) -> List[float]:
+    """Zipf-like weights ``1/rank**skew`` for ranks 1..n.
+
+    The paper's Figure 8 shows most calls concentrating on functions
+    with very few unique path traces; the generator realises that by
+    sampling path selectors (and call targets) from this distribution.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return [1.0 / (rank**skew) for rank in range(1, n + 1)]

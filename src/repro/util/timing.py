@@ -1,0 +1,26 @@
+"""Wall-clock timing helper for the access-time experiments."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock milliseconds.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.ms >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.ms: float = 0.0
+        self._start: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.ms = (time.perf_counter() - self._start) * 1000.0

@@ -1,0 +1,328 @@
+"""Seeded synthetic workload generator (the SPECint95 stand-in).
+
+The paper collects WPPs from SPECint95 binaries; this generator emits
+IR programs whose *traces* have the structural properties that drive
+the paper's results, each under explicit control:
+
+* **path-trace redundancy** (Figure 8, Table 2 dedup factors): a
+  function's behaviour is fully determined by its integer selector
+  argument, and callers draw selectors from a bounded per-function
+  *variety*; a function called a thousand times with 4 distinct
+  selectors contributes exactly 4 unique path traces.
+* **dynamic-basic-block structure** (Table 2 dictionary factors): path
+  segments are straight chains of blocks, so loop bodies collapse into
+  DBBs.
+* **timestamp regularity** (Table 2 TWPP factors): a loop stays on one
+  path for ``phase`` consecutive iterations, so repeated paths produce
+  arithmetic timestamp series; phase 1 reselects every iteration
+  (go-like irregularity, where TWPP conversion roughly breaks even).
+* **call-frequency and size skew** (Tables 4-5, Figure 8): functions
+  are arranged in layers.  Shallow layers hold big, path-rich functions
+  with high selector variety (they dominate the *unique*-trace bytes,
+  capping the dedup factor as in the paper's gcc); deep layers hold
+  small utility leaves called geometrically more often with tiny
+  variety (gcc's ``_rtx_equal_p``: 355189 calls, 35 unique traces).
+
+Everything is driven by :class:`~repro.util.lcg.Lcg`, so a spec + seed
+pins the program, the trace, and every downstream table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..ir.builder import BlockBuilder, FunctionBuilder, ProgramBuilder
+from ..ir.expr import binop, intrinsic
+from ..ir.module import Program
+from ..util.lcg import Lcg, zipf_weights
+
+#: Minimum number of switch slots used to realise skewed path weights.
+_SWITCH_SLOTS = 16
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape parameters of one synthetic benchmark.
+
+    Ranges (``loop_iters``, ``paths``, ``path_length``) apply to layer
+    0; each deeper layer multiplies them by ``depth_shrink``, producing
+    the big-caller/small-callee size skew of real programs.  ``scale``
+    multiplies main's outer loop to grow or shrink the trace without
+    changing its structure.
+    """
+
+    name: str
+    seed: int = 1
+    n_functions: int = 30
+    layers: int = 4
+    main_iterations: int = 60
+    loop_iters: Tuple[int, int] = (6, 12)
+    paths: Tuple[int, int] = (2, 8)
+    path_length: Tuple[int, int] = (2, 4)
+    path_skew: float = 1.2
+    phase: Tuple[int, int] = (1, 4)
+    depth_shrink: float = 0.6
+    variety_choices: Tuple[int, ...] = (2, 4, 8, 16, 32)
+    variety_skew: float = 1.0
+    #: Expected number of calls one activation makes from inside its
+    #: loop (controls the geometric growth of deeper layers' call
+    #: counts).  0 disables loop calls entirely.
+    branching: float = 1.2
+    #: Range of calls placed in the function *prologue* (entry block),
+    #: executed once per activation regardless of loop length.  The
+    #: ijpeg analogue uses this instead of loop calls: kernels call
+    #: setup helpers once, then loop without calling.
+    prologue_calls: Tuple[int, int] = (0, 0)
+    memory_ops_probability: float = 0.25
+    scale: float = 1.0
+
+    def scaled_main_iterations(self) -> int:
+        return max(1, int(self.main_iterations * self.scale))
+
+
+@dataclass
+class _FunctionPlan:
+    """Per-function shape decided before any IR is emitted."""
+
+    name: str
+    layer: int
+    iters: int
+    n_paths: int
+    path_lengths: List[int]
+    variety: int  # distinct selector values callers may pass
+    phase: int  # iterations between path reselections
+    path_weights: List[float]
+    # per path: list of (block offset within path, callee index) call sites
+    call_sites: List[List[Tuple[int, int]]] = field(default_factory=list)
+    # callee indices invoked once from the entry block
+    prologue_sites: List[int] = field(default_factory=list)
+
+
+def generate_program(spec: WorkloadSpec) -> Program:
+    """Generate the program for ``spec`` (deterministic in the spec)."""
+    rng = Lcg(spec.seed)
+    plans = _plan_functions(spec, rng)
+    pb = ProgramBuilder()
+    _emit_main(pb, spec, plans)
+    for idx in range(len(plans)):
+        _emit_function(pb, spec, plans, idx)
+    return pb.build()
+
+
+def _shrunk(rng: Lcg, base: Tuple[int, int], factor: float) -> int:
+    lo = max(1, int(round(base[0] * factor)))
+    hi = max(lo, int(round(base[1] * factor)))
+    return rng.randint(lo, hi)
+
+
+def _plan_functions(spec: WorkloadSpec, rng: Lcg) -> List[_FunctionPlan]:
+    if spec.n_functions < spec.layers:
+        raise ValueError("need at least one function per layer")
+    plans: List[_FunctionPlan] = []
+    for i in range(spec.n_functions):
+        layer = i * spec.layers // spec.n_functions
+        shrink = spec.depth_shrink**layer
+        n_paths = _shrunk(rng, spec.paths, shrink)
+        # Deep layers get less selector variety: utility leaves are
+        # called in few distinct ways, so their traces dedup away.
+        depth = layer / max(spec.layers - 1, 1)
+        choices = spec.variety_choices
+        weights = zipf_weights(len(choices), spec.variety_skew * (0.5 + 2.0 * depth))
+        variety = choices[rng.weighted_index(weights)]
+        plans.append(
+            _FunctionPlan(
+                name=f"fn_{layer}_{i:03d}",
+                layer=layer,
+                iters=_shrunk(rng, spec.loop_iters, shrink),
+                n_paths=n_paths,
+                path_lengths=[
+                    _shrunk(rng, spec.path_length, shrink)
+                    for _ in range(n_paths)
+                ],
+                variety=variety,
+                phase=rng.randint(*spec.phase),
+                path_weights=zipf_weights(n_paths, spec.path_skew),
+            )
+        )
+    # Call sites: a block in layer k may call a function in layer k+1.
+    # Loop-call probability is derived per function from the branching
+    # target (expected calls per activation), so geometric layer growth
+    # is spec-controlled instead of emergent.  Targets rotate
+    # round-robin for coverage.  A non-leaf function that ends up with
+    # no loop sites gets a prologue call instead, which keeps every
+    # layer reachable while adding only one call per activation.
+    for idx, plan in enumerate(plans):
+        next_layer = [
+            j for j, p in enumerate(plans) if p.layer == plan.layer + 1
+        ]
+        plan.call_sites = [[] for _ in range(plan.n_paths)]
+        if not next_layer:
+            continue
+        cursor = rng.next() % len(next_layer)
+        lo, hi = spec.prologue_calls
+        if hi > 0:
+            for _ in range(rng.randint(lo, hi)):
+                plan.prologue_sites.append(next_layer[cursor % len(next_layer)])
+                cursor += 1
+        placed = 0
+        if spec.branching > 0:
+            avg_path_len = sum(plan.path_lengths) / plan.n_paths
+            site_probability = min(
+                0.9, spec.branching / max(plan.iters * avg_path_len, 1.0)
+            )
+            for path in range(plan.n_paths):
+                for offset in range(plan.path_lengths[path]):
+                    if rng.random() < site_probability:
+                        plan.call_sites[path].append(
+                            (offset, next_layer[cursor % len(next_layer)])
+                        )
+                        cursor += 1
+                        placed += 1
+        if placed == 0 and not plan.prologue_sites:
+            plan.prologue_sites.append(next_layer[cursor % len(next_layer)])
+    return plans
+
+
+def _path_case_table(weights: Sequence[float], rng: Lcg) -> List[int]:
+    """Distribute switch slots over paths proportionally to weights.
+
+    Every path is guaranteed at least one slot (so no block is
+    unreachable); remaining slots go to the heaviest paths, realising
+    the skewed path-usage distribution.
+    """
+    n = len(weights)
+    n_slots = max(_SWITCH_SLOTS, n)
+    total = sum(weights)
+    counts = [1] * n
+    remaining = n_slots - n
+    if remaining > 0:
+        # Largest-remainder apportionment of the extra slots.
+        shares = [w / total * remaining for w in weights]
+        floors = [int(s) for s in shares]
+        for path, extra in enumerate(floors):
+            counts[path] += extra
+        leftovers = sorted(
+            range(n), key=lambda p: shares[p] - floors[p], reverse=True
+        )
+        for path in leftovers[: remaining - sum(floors)]:
+            counts[path] += 1
+    slots: List[int] = []
+    for path, count in enumerate(counts):
+        slots.extend([path] * count)
+    rng.shuffle(slots)
+    return slots
+
+
+def _emit_function(
+    pb: ProgramBuilder,
+    spec: WorkloadSpec,
+    plans: List[_FunctionPlan],
+    idx: int,
+) -> None:
+    plan = plans[idx]
+    fb = pb.function(plan.name, params=("sel",))
+
+    entry = fb.block("entry")
+    head = fb.block("head")
+    select = fb.block("select")
+    latch = fb.block("latch")
+    exit_block = fb.block("exit")
+
+    # Pre-create path blocks so the switch can reference them.
+    path_blocks: List[List[BlockBuilder]] = []
+    for path in range(plan.n_paths):
+        path_blocks.append(
+            [
+                fb.block(f"p{path}.{k}")
+                for k in range(plan.path_lengths[path])
+            ]
+        )
+
+    entry.assign("j", 0).assign("x", binop("+", "sel", 1))
+    for callee_idx in plan.prologue_sites:
+        child = plans[callee_idx]
+        entry.call(child.name, [binop("%", "x", child.variety)], dest="r")
+    entry.jump(head)
+    head.branch(binop("<", "j", plan.iters), select, exit_block)
+
+    # Path choice is a function of (sel, j // phase) only: activations
+    # with equal selectors follow identical paths (driving path-trace
+    # redundancy), and the path is stable for `phase` iterations at a
+    # time (driving arithmetic-series timestamps).
+    rng = Lcg(spec.seed ^ (idx * 2654435761 + 97))
+    cases = _path_case_table(plan.path_weights, rng)
+    mixed = binop(
+        "+",
+        binop("*", "sel", 7),
+        binop("*", binop("//", "j", plan.phase), 13),
+    )
+    select.switch(
+        binop("%", mixed, len(cases)),
+        [path_blocks[p][0] for p in cases],
+        path_blocks[0][0],
+    )
+
+    for path in range(plan.n_paths):
+        blocks = path_blocks[path]
+        sites = dict(plan.call_sites[path])
+        for offset, block in enumerate(blocks):
+            block.assign("acc", binop("+", binop("*", "x", 3), offset))
+            if rng.random() < spec.memory_ops_probability:
+                addr = rng.randint(0, 31)
+                if rng.random() < 0.5:
+                    block.load(f"m{offset}", addr)
+                else:
+                    block.store(addr, "acc")
+            callee = sites.get(offset)
+            if callee is not None:
+                child = plans[callee]
+                block.call(
+                    child.name,
+                    [binop("%", "x", child.variety)],
+                    dest="r",
+                )
+            target = blocks[offset + 1] if offset + 1 < len(blocks) else latch
+            block.jump(target)
+
+    latch.assign("j", binop("+", "j", 1)).assign(
+        "x", intrinsic("lcg", "x")
+    ).jump(head)
+    exit_block.ret("x")
+
+
+def _emit_main(
+    pb: ProgramBuilder,
+    spec: WorkloadSpec,
+    plans: List[_FunctionPlan],
+) -> None:
+    """main: a loop that rotates across all layer-0 functions.
+
+    Each iteration switches on ``i mod T`` to a call block, so every
+    top-level function is exercised and selector arguments sweep each
+    callee's variety range.
+    """
+    top = [i for i, p in enumerate(plans) if p.layer == 0]
+    fb = pb.function("main")
+    entry = fb.block("entry")
+    head = fb.block("head")
+    dispatch = fb.block("dispatch")
+    latch = fb.block("latch")
+    exit_block = fb.block("exit")
+    call_blocks = [fb.block(f"call{k}") for k in range(len(top))]
+
+    iterations = spec.scaled_main_iterations()
+    entry.assign("i", 0).assign("x", spec.seed % 65536 + 7).jump(head)
+    head.branch(binop("<", "i", iterations), dispatch, exit_block)
+    dispatch.switch(
+        binop("%", "i", len(top)), call_blocks, call_blocks[0]
+    )
+    for k, block in enumerate(call_blocks):
+        callee = plans[top[k]]
+        block.call(
+            callee.name, [binop("%", "x", callee.variety)], dest="r"
+        ).jump(latch)
+    latch.assign("i", binop("+", "i", 1)).assign(
+        "x", intrinsic("lcg", "x")
+    ).jump(head)
+    exit_block.ret(0)

@@ -1,0 +1,240 @@
+"""The paper's worked example programs, reproduced exactly.
+
+Each function returns an executable IR program whose collected WPP
+matches the corresponding figure of the paper:
+
+* :func:`figure1_program`  -- the main/f loop whose WPP, compaction and
+  TWPP forms are traced through Figures 1-7;
+* :func:`figure9_program`  -- the load-redundancy loop of Figure 9
+  (paths ``(1.2.3.4.5)^40 (1.2.7.4.5)^20 (1.6.7.8.5)^40``);
+* :func:`figure10_program` -- the 14-statement slicing example of
+  Figure 10 (one statement per block, ids matching the paper);
+* :func:`figure12_program` -- the currency-determination diamond of
+  Figure 12, in optimized form (the second assignment to X sunk out of
+  block 1 into block 2 by partial dead code elimination).
+
+These programs anchor the exact-output tests: the reproduction is
+checked not just on aggregate factors but on the paper's own literals
+(e.g. main's compacted TWPP ``{1 -> {-1}, 2 -> {2:-6}, 6 -> {-7}}``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..ir.builder import ProgramBuilder
+from ..ir.expr import binop, intrinsic
+from ..ir.module import Program
+
+
+def figure1_program() -> Program:
+    """Figure 1: main loops five times calling f; f loops three times.
+
+    f takes path A (blocks 3.4.5) or B (blocks 7.8.9) for the whole
+    call, selected by its argument; main passes the pattern B,B,A,B,A,
+    giving the exact WPP of Figure 1:
+
+    ``main(1.2.3.f(B).4. 2.3.f(B).4. 2.3.f(A).4. 2.3.f(B).4. 2.3.f(A).4. 6)``
+    """
+    pb = ProgramBuilder()
+
+    f = pb.function("f", params=("sel",))
+    f1 = f.block("entry")  # B1
+    f2 = f.block("select")  # B2
+    f3 = f.block("pathA.1")  # B3
+    f4 = f.block("pathA.2")  # B4
+    f5 = f.block("pathA.3")  # B5
+    f6 = f.block("latch")  # B6
+    f7 = f.block("pathB.1")  # B7
+    f8 = f.block("pathB.2")  # B8
+    f9 = f.block("pathB.3")  # B9
+    f10 = f.block("exit")  # B10
+    f1.assign("j", 0).jump(f2)
+    f2.branch("sel", f3, f7)
+    f3.assign("a", binop("+", "j", 1)).jump(f4)
+    f4.assign("b", binop("*", "a", 2)).jump(f5)
+    f5.assign("c", binop("+", "b", "j")).jump(f6)
+    f6.assign("j", binop("+", "j", 1)).branch(binop("<", "j", 3), f2, f10)
+    f7.assign("a", binop("-", "j", 1)).jump(f8)
+    f8.assign("b", binop("*", "a", 3)).jump(f9)
+    f9.assign("c", binop("-", "b", "j")).jump(f6)
+    f10.ret("c")
+
+    main = pb.function("main")
+    m1 = main.block("entry")  # B1
+    m2 = main.block("head")  # B2
+    m3 = main.block("call")  # B3
+    m4 = main.block("latch")  # B4
+    m5 = main.block("pad")  # B5 -- never executed; keeps ids aligned
+    m6 = main.block("exit")  # B6
+    m1.assign("i", 0).jump(m2)
+    # sel pattern over i=0..4: B,B,A,B,A  ==  (1 - i%2) * (i >= 2)
+    m2.assign(
+        "sel",
+        binop("*", binop("-", 1, binop("%", "i", 2)), binop(">=", "i", 2)),
+    ).jump(m3)
+    m3.call("f", ["sel"], dest="r").jump(m4)
+    m4.assign("i", binop("+", "i", 1)).branch(binop("<", "i", 5), m2, m6)
+    m5.jump(m6)
+    m6.ret("r")
+
+    # B5 of main is deliberately unreachable (the paper's main never
+    # shows a block 5), so skip the reachability check.
+    return pb.build(verify=False)
+
+
+#: The two unique path traces of f in Figure 1 (A loops 3.4.5, B loops 7.8.9).
+FIGURE1_F_TRACE_A: Tuple[int, ...] = (
+    1, 2, 3, 4, 5, 6, 2, 3, 4, 5, 6, 2, 3, 4, 5, 6, 10
+)
+FIGURE1_F_TRACE_B: Tuple[int, ...] = (
+    1, 2, 7, 8, 9, 6, 2, 7, 8, 9, 6, 2, 7, 8, 9, 6, 10
+)
+#: main's single path trace in Figure 1.
+FIGURE1_MAIN_TRACE: Tuple[int, ...] = (
+    1, 2, 3, 4, 2, 3, 4, 2, 3, 4, 2, 3, 4, 2, 3, 4, 6
+)
+
+
+def figure9_program() -> Program:
+    """Figure 9: a 100-iteration loop with a redundant load.
+
+    Block 1 loads MEM[100] (``1_Load``, runs 100 times); block 4 loads
+    it again (``4_Load``, 60 times); block 6 stores it (``6_Store``, 40
+    times).  Iterations 0-39 take 1.2.3.4.5, 40-59 take 1.2.7.4.5 and
+    60-99 take 1.6.7.8.5, so block timestamps form the arithmetic
+    series the paper annotates (block 1 -> 1:496:5, block 4 -> 4:299:5,
+    block 7 -> 203:498:5, ...).  4_Load is 100% redundant: every
+    instance is reached from 1_Load without crossing 6_Store.
+    """
+    pb = ProgramBuilder()
+    main = pb.function("main", params=("it",))
+    b1 = main.block("head+1_Load")
+    b2 = main.block("split")
+    b3 = main.block("pathA")
+    b4 = main.block("4_Load")
+    b5 = main.block("latch")
+    b6 = main.block("6_Store")
+    b7 = main.block("join")
+    b8 = main.block("pathC.tail")
+    b9 = main.block("exit")
+
+    # path = 1 for it<40, 2 for 40<=it<60, 3 for it>=60
+    b1.load("r1", 100).assign(
+        "path", binop("+", binop("+", 1, binop(">=", "it", 40)), binop(">=", "it", 60))
+    ).branch(binop("!=", "path", 3), b2, b6)
+    b2.branch(binop("==", "path", 1), b3, b7)
+    b3.assign("t3", binop("+", "r1", 1)).jump(b4)
+    b4.load("r2", 100).jump(b5)
+    b5.assign("it", binop("+", "it", 1)).branch(binop("<", "it", 100), b1, b9)
+    b6.store(100, "it").jump(b7)
+    b7.branch(binop("==", "path", 2), b4, b8)
+    b8.assign("t8", binop("+", "r1", 2)).jump(b5)
+    b9.ret("r1")
+    return pb.build()
+
+
+#: Block id of the queried load, its address, and the expected degree.
+FIGURE9_QUERY_BLOCK = 4
+FIGURE9_LOAD_ADDR = 100
+FIGURE9_EXPECTED_EXECUTIONS = 60
+FIGURE9_EXPECTED_QUERIES = 6
+
+
+def figure10_program() -> Program:
+    """Figure 10: the 14-statement dynamic slicing example.
+
+    One statement per block, ids 1..14 matching the paper's line
+    numbers.  Run with inputs ``[3, -4, 3, -2]`` (N=3, X=-4,3,-2) to
+    obtain the paper's execution history.
+    """
+    pb = ProgramBuilder()
+    main = pb.function("main")
+    b = [main.block(f"s{i}") for i in range(1, 15)]
+    (s1, s2, s3, s4, s5, s6, s7, s8, s9, s10, s11, s12, s13, s14) = b
+
+    s1.read("N").jump(s2)  # 1: read N
+    s2.assign("I", 1).jump(s3)  # 2: I = 1
+    s3.assign("J", 0).jump(s4)  # 3: J = 0
+    s4.branch(binop("<=", "I", "N"), s5, s13)  # 4: while I <= N
+    s5.read("X").jump(s6)  # 5: read X
+    s6.branch(binop("<", "X", 0), s7, s8)  # 6: if X < 0
+    s7.assign("Y", intrinsic("f1", "X")).jump(s9)  # 7: Y = f1(X)
+    s8.assign("Y", intrinsic("f2", "X")).jump(s9)  # 8: Y = f2(X)
+    s9.assign("Z", intrinsic("f3", "Y")).jump(s10)  # 9: Z = f3(Y)
+    s10.write("Z").jump(s11)  # 10: write Z
+    s11.assign("J", "I").jump(s12)  # 11: J = I
+    s12.assign("I", binop("+", "I", 1)).jump(s4)  # 12: I = I + 1
+    s13.assign("Z", binop("+", "Z", "J")).jump(s14)  # 13: Z = Z + J
+    s14.breakpoint("slice-request").ret("Z")  # 14: breakpoint
+    return pb.build()
+
+
+#: Paper inputs for Figure 10 (N=3, then X values).
+FIGURE10_INPUTS: Tuple[int, ...] = (3, -4, 3, -2)
+#: The execution history of Figure 10 as block ids.
+FIGURE10_TRACE: Tuple[int, ...] = (
+    1, 2, 3, 4, 5, 6, 7, 9, 10, 11, 12,
+    4, 5, 6, 8, 9, 10, 11, 12,
+    4, 5, 6, 7, 9, 10, 11, 12,
+    4, 13, 14,
+)
+#: Expected slices for Z at node 14 (paper, Figure 11).
+FIGURE10_SLICE_APPROACH1 = frozenset(
+    {1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12, 13, 14}
+)
+FIGURE10_SLICE_APPROACH2 = frozenset(
+    {1, 2, 4, 5, 6, 7, 8, 9, 11, 12, 13, 14}
+)
+FIGURE10_SLICE_APPROACH3 = frozenset(
+    {1, 2, 4, 5, 6, 7, 9, 11, 12, 13, 14}
+)
+
+
+def figure12_program() -> Program:
+    """Figure 12 (optimized form): PDE sank ``X = a2`` from B1 into B2.
+
+    CFG: B1 -> {B2, B4}; B2 -> B3; B4 -> B3; B3 is the breakpoint.
+    In the *original* program block 1 assigned X twice (a1 then a2);
+    the optimizer moved the partially-dead second assignment into B2,
+    the block containing its only use.  X is current at the breakpoint
+    exactly when the executed path went through B2.
+    """
+    pb = ProgramBuilder()
+    main = pb.function("main", params=("c",))
+    b1 = main.block("defs")
+    b2 = main.block("use+moved-def")
+    b3 = main.block("breakpoint")
+    b4 = main.block("other")
+    b1.assign("X", 1).branch("c", b2, b4)
+    b2.assign("X", 2).assign("y", binop("+", "X", 10)).jump(b3)
+    b3.breakpoint("inspect-X").ret("X")
+    b4.assign("z", 5).jump(b3)
+    return pb.build()
+
+
+def figure12_original_program() -> Program:
+    """Figure 12 before optimization: both assignments to X in block 1.
+
+    Control flow is identical to :func:`figure12_program`; only the
+    placement of ``X = a2`` differs.  Running both versions gives the
+    semantic ground truth that currency determination must reproduce:
+    X is *current* at the breakpoint exactly when the two versions
+    computed the same value there.
+    """
+    pb = ProgramBuilder()
+    main = pb.function("main", params=("c",))
+    b1 = main.block("defs")
+    b2 = main.block("use")
+    b3 = main.block("breakpoint")
+    b4 = main.block("other")
+    b1.assign("X", 1).assign("X", 2).branch("c", b2, b4)
+    b2.assign("y", binop("+", "X", 10)).jump(b3)
+    b3.breakpoint("inspect-X").ret("X")
+    b4.assign("z", 5).jump(b3)
+    return pb.build()
+
+
+#: Definition placements for Figure 12's variable X.
+FIGURE12_ORIGINAL_DEFS = {1: "a2"}  # a1 is shadowed by a2 within B1
+FIGURE12_OPTIMIZED_DEFS = {1: "a1", 2: "a2"}

@@ -1,0 +1,158 @@
+"""Unit tests for dynamic currency determination (Figure 12)."""
+
+import pytest
+
+from repro.analysis import (
+    CodeMotion,
+    DefPlacement,
+    TimestampedCfg,
+    determine_currency,
+    last_definition_before,
+    placements_from_motion,
+)
+from repro.trace import collect_wpp, partition_wpp
+from repro.workloads import (
+    FIGURE12_OPTIMIZED_DEFS,
+    FIGURE12_ORIGINAL_DEFS,
+    figure12_program,
+)
+
+
+def cfg_for(cond: int) -> TimestampedCfg:
+    program = figure12_program()
+    trace = partition_wpp(collect_wpp(program, args=[cond])).traces[0][0]
+    return TimestampedCfg.from_trace(trace)
+
+
+class TestFigure12:
+    def test_through_path_is_current(self):
+        cfg = cfg_for(1)
+        result = determine_currency(
+            cfg,
+            "X",
+            3,
+            cfg.ts(3).min(),
+            DefPlacement.of(FIGURE12_ORIGINAL_DEFS),
+            DefPlacement.of(FIGURE12_OPTIMIZED_DEFS),
+        )
+        assert result.current
+        assert result.actual_def == result.expected_def == "a2"
+        assert "current" in result.explanation()
+
+    def test_bypass_path_is_stale(self):
+        cfg = cfg_for(0)
+        result = determine_currency(
+            cfg,
+            "X",
+            3,
+            cfg.ts(3).min(),
+            DefPlacement.of(FIGURE12_ORIGINAL_DEFS),
+            DefPlacement.of(FIGURE12_OPTIMIZED_DEFS),
+        )
+        assert not result.current
+        assert result.actual_def == "a1"
+        assert result.expected_def == "a2"
+        assert "NOT current" in result.explanation()
+
+    def test_breakpoint_instance_validated(self):
+        cfg = cfg_for(1)
+        with pytest.raises(ValueError, match="did not execute"):
+            determine_currency(
+                cfg,
+                "X",
+                3,
+                999,
+                DefPlacement.of(FIGURE12_ORIGINAL_DEFS),
+                DefPlacement.of(FIGURE12_OPTIMIZED_DEFS),
+            )
+
+
+class TestLastDefinitionBefore:
+    def test_picks_latest(self):
+        cfg = TimestampedCfg.from_trace((1, 2, 1, 2, 3))
+        placement = DefPlacement.of({1: "d1", 2: "d2"})
+        found = last_definition_before(cfg, placement, 5)
+        assert found == (2, 4, "d2")
+
+    def test_strictly_before(self):
+        cfg = TimestampedCfg.from_trace((1, 2, 3))
+        placement = DefPlacement.of({3: "d3"})
+        assert last_definition_before(cfg, placement, 3) is None
+
+    def test_none_when_no_defs_executed(self):
+        cfg = TimestampedCfg.from_trace((1, 2, 3))
+        placement = DefPlacement.of({9: "d9"})
+        assert last_definition_before(cfg, placement, 3) is None
+
+
+class TestMotionRecords:
+    def test_placements_from_motion(self):
+        original, optimized = placements_from_motion(
+            base={7: "keep"},
+            motions=(
+                CodeMotion("sunk", original_block=1, optimized_block=2),
+                CodeMotion("deleted", original_block=4, optimized_block=None),
+            ),
+        )
+        assert original.as_map() == {1: "sunk", 4: "deleted", 7: "keep"}
+        assert optimized.as_map() == {2: "sunk", 7: "keep"}
+
+    def test_motion_reproduces_figure12(self):
+        # Figure 12 as a motion record: a2 sunk from B1 to B2, with a1
+        # remaining in B1 (a1 is the base def the optimizer kept).
+        original, optimized = placements_from_motion(
+            base={1: "a1"},
+            motions=(CodeMotion("a2", original_block=1, optimized_block=2),),
+        )
+        # In the original program a2 shadows a1 within B1.
+        assert original.as_map() == {1: "a2"}
+        assert optimized.as_map() == {1: "a1", 2: "a2"}
+        cfg = cfg_for(0)
+        result = determine_currency(
+            cfg, "X", 3, cfg.ts(3).min(), original, optimized
+        )
+        assert not result.current
+
+
+class TestSemanticGroundTruth:
+    def test_verdict_matches_actual_value_divergence(self):
+        """X is current at the breakpoint exactly when the optimized
+        program computed the same X value the original would have --
+        checked by actually running both versions."""
+        from repro.interp import run_program
+        from repro.workloads import figure12_original_program
+
+        original_prog = figure12_original_program()
+        optimized_prog = figure12_program()
+        for cond in (0, 1):
+            original_value = run_program(
+                original_prog, args=[cond]
+            ).return_value
+            optimized_value = run_program(
+                optimized_prog, args=[cond]
+            ).return_value
+            cfg = cfg_for(cond)
+            verdict = determine_currency(
+                cfg,
+                "X",
+                3,
+                cfg.ts(3).min(),
+                DefPlacement.of(FIGURE12_ORIGINAL_DEFS),
+                DefPlacement.of(FIGURE12_OPTIMIZED_DEFS),
+            )
+            assert verdict.current == (original_value == optimized_value)
+
+    def test_both_versions_share_control_flow(self):
+        """The PDE transformation moved code but not branches, so both
+        versions follow identical block sequences."""
+        from repro.trace import collect_wpp, partition_wpp
+        from repro.workloads import figure12_original_program
+
+        for cond in (0, 1):
+            orig = partition_wpp(
+                collect_wpp(figure12_original_program(), args=[cond])
+            ).traces[0][0]
+            opt = partition_wpp(
+                collect_wpp(figure12_program(), args=[cond])
+            ).traces[0][0]
+            assert orig == opt

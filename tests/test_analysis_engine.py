@@ -1,0 +1,150 @@
+"""Unit tests for the demand-driven GEN-KILL query engine."""
+
+import pytest
+
+from repro.analysis import (
+    DemandDrivenEngine,
+    GEN,
+    KILL,
+    LoadAvailable,
+    TRANSPARENT,
+    TimestampSet,
+    TimestampedCfg,
+    uniform_effects,
+)
+from repro.workloads import figure9_program
+from repro.trace import collect_wpp, partition_wpp
+
+
+def engine_for(trace, classes):
+    cfg = TimestampedCfg.from_trace(trace)
+    return DemandDrivenEngine(cfg, uniform_effects(classes))
+
+
+class TestStraightLine:
+    def test_gen_resolves_true(self):
+        # trace 1.2.3 with 1 generating: query at 3 resolves via 2->1.
+        eng = engine_for((1, 2, 3), {1: GEN})
+        result = eng.query(3)
+        assert result.always_holds
+        assert result.holds.values() == [3]
+        assert result.queries_issued == 2
+
+    def test_kill_resolves_false(self):
+        eng = engine_for((1, 2, 3), {1: GEN, 2: KILL})
+        result = eng.query(3)
+        assert result.never_holds
+        assert result.fails.values() == [3]
+
+    def test_unresolved_at_trace_start(self):
+        eng = engine_for((1, 2, 3), {})
+        result = eng.query(3)
+        assert result.unresolved.values() == [3]
+        assert not result.holds and not result.fails
+
+    def test_query_at_first_position(self):
+        eng = engine_for((1, 2), {1: GEN})
+        result = eng.query(1)
+        assert result.unresolved.values() == [1]
+
+    def test_empty_request(self):
+        eng = engine_for((1, 2), {1: GEN})
+        result = eng.query(2, TimestampSet())
+        assert len(result.requested) == 0
+        assert result.queries_issued == 0
+
+
+class TestLoops:
+    def test_per_instance_resolution(self):
+        # trace: 1.2.3.2.3 with 1 GEN, 3 KILL: at block 2, instance 2
+        # sees the gen; instance 4 sees the kill from the prior 3.
+        eng = engine_for((1, 2, 3, 2, 3), {1: GEN, 3: KILL})
+        result = eng.query(2)
+        assert result.holds.values() == [2]
+        assert result.fails.values() == [4]
+
+    def test_conservation(self):
+        eng = engine_for((1, 2, 3) * 5 + (1,), {2: KILL})
+        result = eng.query(3)
+        result.check_conservation()
+        assert len(result.holds) + len(result.fails) + len(
+            result.unresolved
+        ) == len(result.requested)
+
+    def test_frequency(self):
+        eng = engine_for((1, 2, 1, 2, 3, 2), {1: GEN, 3: KILL})
+        result = eng.query(2)
+        # instances 2,4 preceded by 1 (GEN); instance 6 preceded by 3 (KILL).
+        assert result.frequency == pytest.approx(2 / 3)
+
+
+class TestFigure9:
+    def test_exact_paper_numbers(self):
+        program = figure9_program()
+        trace = partition_wpp(collect_wpp(program, args=[0])).traces[0][0]
+        fact = LoadAvailable(100)
+        eng = DemandDrivenEngine.for_function_trace(
+            program.function("main"), trace, fact
+        )
+        result = eng.query(4)
+        assert len(result.requested) == 60
+        assert result.always_holds
+        assert result.queries_issued == 6
+
+    def test_store_blocks_availability(self):
+        """Querying block 7 (reached from both 2 and 6) splits: the
+        6-side instances were just killed by 6_Store."""
+        program = figure9_program()
+        trace = partition_wpp(collect_wpp(program, args=[0])).traces[0][0]
+        fact = LoadAvailable(100)
+        eng = DemandDrivenEngine.for_function_trace(
+            program.function("main"), trace, fact
+        )
+        result = eng.query(7)
+        # 7 executes on p2 (20x, load available from block 1) and p3
+        # (40x, killed by block 6).
+        assert len(result.requested) == 60
+        assert len(result.holds) == 20
+        assert len(result.fails) == 40
+
+    def test_effect_overrides(self):
+        program = figure9_program()
+        trace = partition_wpp(collect_wpp(program, args=[0])).traces[0][0]
+        eng = DemandDrivenEngine.for_function_trace(
+            program.function("main"),
+            trace,
+            LoadAvailable(100),
+            # Pretend both loads are gone: nothing generates at all.
+            effect_overrides={1: TRANSPARENT, 4: TRANSPARENT},
+        )
+        result = eng.query(4)
+        assert len(result.holds) == 0
+        # p3 iterations still kill via 6_Store; the rest drain to the
+        # trace start unresolved.
+        assert len(result.fails) + len(result.unresolved) == 60
+
+
+class TestFigure9QueryVectors:
+    def test_exact_propagated_vectors(self):
+        """The six propagated queries match Figure 9's annotations:
+        <[3:198:5],3>, <[203:298:5],7>, <[2:197:5],2>, <[202:297:5],2>,
+        <[1:196:5],1>, <[201:296:5],1>."""
+        program = figure9_program()
+        trace = partition_wpp(collect_wpp(program, args=[0])).traces[0][0]
+        eng = DemandDrivenEngine.for_function_trace(
+            program.function("main"), trace, LoadAvailable(100)
+        )
+        log = []
+        eng.query(4, log=log)
+        rendered = [
+            (m, str(ts))
+            for m, ts in sorted(log, key=lambda x: (x[0], x[1].min()))
+        ]
+        assert rendered == [
+            (1, "{1:196:5}"),
+            (1, "{201:296:5}"),
+            (2, "{2:197:5}"),
+            (2, "{202:297:5}"),
+            (3, "{3:198:5}"),
+            (7, "{203:298:5}"),
+        ]

@@ -1,0 +1,121 @@
+"""Property tests: the demand-driven engine vs brute-force simulation.
+
+For random traces with random per-block GEN/KILL classifications, the
+fact's truth at each instance is trivially computable by one forward
+scan; the demand-driven backward engine must agree exactly, instance by
+instance, while issuing queries bounded by the trace length.
+"""
+
+from typing import Dict, List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    DemandDrivenEngine,
+    GEN,
+    KILL,
+    TRANSPARENT,
+    TimestampSet,
+    TimestampedCfg,
+    uniform_effects,
+)
+
+
+def brute_force(trace: Tuple[int, ...], classes: Dict[int, str]):
+    """Forward scan: fact state just *before* each position (1-based).
+
+    Returns per position one of 'hold', 'fail', 'unknown' ('unknown'
+    means no GEN/KILL happened yet since the trace start).
+    """
+    states: List[str] = []
+    current = "unknown"
+    for block in trace:
+        states.append(current)
+        cls = classes.get(block, TRANSPARENT)
+        if cls == GEN:
+            current = "hold"
+        elif cls == KILL:
+            current = "fail"
+    return states
+
+
+@st.composite
+def scenarios(draw):
+    alphabet = draw(st.integers(2, 7))
+    trace = tuple(
+        draw(
+            st.lists(
+                st.integers(1, alphabet), min_size=1, max_size=120
+            )
+        )
+    )
+    classes = {
+        b: draw(st.sampled_from([GEN, KILL, TRANSPARENT, TRANSPARENT]))
+        for b in set(trace)
+    }
+    return trace, classes
+
+
+class TestEngineAgainstBruteForce:
+    @given(scenarios())
+    @settings(max_examples=300, deadline=None)
+    def test_full_block_queries_agree(self, scenario):
+        trace, classes = scenario
+        cfg = TimestampedCfg.from_trace(trace)
+        engine = DemandDrivenEngine(cfg, uniform_effects(classes))
+        expected = brute_force(trace, classes)
+        for block in cfg.nodes():
+            result = engine.query(block)
+            result.check_conservation()
+            for t in cfg.ts(block):
+                truth = expected[t - 1]
+                if truth == "hold":
+                    assert t in result.holds, (trace, classes, block, t)
+                elif truth == "fail":
+                    assert t in result.fails, (trace, classes, block, t)
+                else:
+                    assert t in result.unresolved, (
+                        trace,
+                        classes,
+                        block,
+                        t,
+                    )
+
+    @given(scenarios())
+    @settings(max_examples=200, deadline=None)
+    def test_query_cost_bounded_by_trace_length(self, scenario):
+        trace, classes = scenario
+        cfg = TimestampedCfg.from_trace(trace)
+        engine = DemandDrivenEngine(cfg, uniform_effects(classes))
+        for block in cfg.nodes():
+            result = engine.query(block)
+            # Each instance walks back at most to the trace start and
+            # instances never duplicate, so the total work is bounded
+            # by the sum of backward depths (collective series
+            # propagation usually does far better).
+            bound = sum(t - 1 for t in cfg.ts(block)) + len(trace)
+            assert result.queries_issued <= bound
+
+    @given(scenarios(), st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_subset_queries_agree(self, scenario, data):
+        trace, classes = scenario
+        cfg = TimestampedCfg.from_trace(trace)
+        engine = DemandDrivenEngine(cfg, uniform_effects(classes))
+        block = data.draw(st.sampled_from(cfg.nodes()))
+        all_ts = cfg.ts(block).values()
+        chosen = data.draw(
+            st.lists(st.sampled_from(all_ts), min_size=1, unique=True)
+        )
+        subset = TimestampSet.from_values(chosen)
+        result = engine.query(block, subset)
+        expected = brute_force(trace, classes)
+        for t in chosen:
+            truth = expected[t - 1]
+            bucket = {
+                "hold": result.holds,
+                "fail": result.fails,
+                "unknown": result.unresolved,
+            }[truth]
+            assert t in bucket

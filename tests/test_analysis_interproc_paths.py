@@ -1,0 +1,185 @@
+"""Unit tests for interprocedural query propagation (Section 4.2 extension)."""
+
+import pytest
+
+from repro.analysis import (
+    InterproceduralEngine,
+    LoadAvailable,
+    TimestampSet,
+    interprocedural_query,
+)
+from repro.compact import compact_wpp
+from repro.ir import ProgramBuilder, binop
+from repro.trace import collect_wpp, partition_wpp
+
+
+def siblings_program():
+    """main loops 4x: call writer(i%2) then reader(); writer(1) kills.
+
+    reader loads MEM[7]; whether the value is available at reader's
+    entry depends on the sibling writer call and the previous
+    iteration's reader.
+    """
+    pb = ProgramBuilder()
+    writer = pb.function("writer", params=("sel",))
+    w1 = writer.block()
+    w2 = writer.block()
+    w3 = writer.block()
+    w1.branch("sel", w2, w3)
+    w2.store(7, 1).jump(w3)
+    w3.ret(0)
+
+    reader = pb.function("reader")
+    r1 = reader.block()
+    r1.load("v", 7).ret("v")
+
+    main = pb.function("main")
+    m1 = main.block()
+    m2 = main.block()
+    m3 = main.block()
+    m4 = main.block()
+    m1.assign("i", 0).jump(m2)
+    m2.branch(binop("<", "i", 4), m3, m4)
+    m3.call("writer", [binop("%", "i", 2)]).call("reader", [], dest="v").assign(
+        "i", binop("+", "i", 1)
+    ).jump(m2)
+    m4.ret(0)
+    return pb.build()
+
+
+def chain_program():
+    """main -> mid -> leaf, load in leaf, generating load in main."""
+    pb = ProgramBuilder()
+    leaf = pb.function("leaf")
+    l1 = leaf.block()
+    l1.load("v", 9).ret("v")
+    mid = pb.function("mid")
+    d1 = mid.block()
+    d1.assign("t", 1).call("leaf", [], dest="v").ret("v")
+    main = pb.function("main")
+    m1 = main.block()
+    m1.load("a", 9).call("mid", [], dest="v").ret("v")
+    return pb.build()
+
+
+def compacted_for(program, args=()):
+    wpp = collect_wpp(program, args=args)
+    compacted, _stats = compact_wpp(partition_wpp(wpp))
+    return compacted
+
+
+def nodes_of(compacted, func_name):
+    idx = compacted.func_names.index(func_name)
+    return [
+        n
+        for n in range(len(compacted.dcg))
+        if compacted.dcg.node_func[n] == idx
+    ]
+
+
+class TestSiblingEffects:
+    def test_per_activation_verdicts(self):
+        program = siblings_program()
+        compacted = compacted_for(program)
+        engine = InterproceduralEngine(compacted, program, LoadAvailable(7))
+        readers = nodes_of(compacted, "reader")
+        assert len(readers) == 4
+        verdicts = []
+        for node in readers:
+            res = engine.query(node, 1)
+            assert res.requested == 1
+            if res.holds:
+                verdicts.append("hold")
+            elif res.fails:
+                verdicts.append("fail")
+            else:
+                verdicts.append("start")
+        # i=0: nothing before the first reader but a transparent writer
+        #      and main's prologue -> unresolved at program start;
+        # i=1: writer(1) stored -> killed;
+        # i=2: previous iteration's reader loaded, writer transparent;
+        # i=3: writer(1) stored -> killed.
+        assert verdicts == ["start", "fail", "hold", "fail"]
+
+    def test_crossing_counts_activations(self):
+        program = siblings_program()
+        compacted = compacted_for(program)
+        engine = InterproceduralEngine(compacted, program, LoadAvailable(7))
+        res = engine.query(nodes_of(compacted, "reader")[2], 1)
+        # reader -> main (and resolution happens inside main's trace).
+        assert res.activations_visited >= 2
+        res.check_conservation()
+
+
+class TestDeepChain:
+    def test_two_level_crossing(self):
+        program = chain_program()
+        compacted = compacted_for(program)
+        res = interprocedural_query(
+            compacted,
+            program,
+            LoadAvailable(9),
+            nodes_of(compacted, "leaf")[0],
+            1,
+        )
+        # leaf entry -> mid (prefix: t=1, transparent) -> mid entry ->
+        # main (prefix: the generating load) -> holds.
+        assert res.holds == 1
+        assert res.fails == 0
+        assert res.activations_visited >= 2
+
+    def test_kill_in_middle_blocks(self):
+        pb = ProgramBuilder()
+        leaf = pb.function("leaf")
+        leaf.block().load("v", 9).ret("v")
+        mid = pb.function("mid")
+        mid.block().store(9, 0).call("leaf", [], dest="v").ret("v")
+        main = pb.function("main")
+        main.block().load("a", 9).call("mid", [], dest="v").ret("v")
+        program = pb.build()
+        compacted = compacted_for(program)
+        res = interprocedural_query(
+            compacted,
+            program,
+            LoadAvailable(9),
+            nodes_of(compacted, "leaf")[0],
+            1,
+        )
+        # mid's store (before the call) kills on the way up.
+        assert res.fails == 1 and res.holds == 0
+
+    def test_root_query_stays_intra(self):
+        program = chain_program()
+        compacted = compacted_for(program)
+        res = interprocedural_query(
+            compacted, program, LoadAvailable(9), 0, 1
+        )
+        # Querying main's own entry: nothing precedes it.
+        assert res.unresolved_at_start == 1
+
+
+class TestCollectiveCrossing:
+    def test_loop_instances_group(self):
+        """All of a callee's escaped instances share the caller point."""
+        pb = ProgramBuilder()
+        callee = pb.function("callee")
+        c1 = callee.block()
+        c2 = callee.block()
+        c3 = callee.block()
+        c1.assign("j", 0).jump(c2)
+        c2.assign("j", binop("+", "j", 1)).branch(
+            binop("<", "j", 5), c2, c3
+        )
+        c3.ret(0)
+        main = pb.function("main")
+        main.block().load("a", 3).call("callee", []).ret(0)
+        program = pb.build()
+        compacted = compacted_for(program)
+        callee_node = nodes_of(compacted, "callee")[0]
+        engine = InterproceduralEngine(compacted, program, LoadAvailable(3))
+        # Query all 5 instances of the loop block: all escape to the
+        # caller together and resolve against main's load at once.
+        res = engine.query(callee_node, 2)
+        assert res.requested == 5
+        assert res.holds == 5
+        res.check_conservation()

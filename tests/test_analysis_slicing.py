@@ -1,0 +1,151 @@
+"""Unit tests for the three dynamic slicing algorithms (Figures 10-11)."""
+
+import pytest
+
+from repro.analysis import DynamicSlicer, TimestampSet
+from repro.ir import ProgramBuilder, binop
+from repro.trace import collect_wpp, partition_wpp
+from repro.workloads import (
+    FIGURE10_INPUTS,
+    FIGURE10_SLICE_APPROACH1,
+    FIGURE10_SLICE_APPROACH2,
+    FIGURE10_SLICE_APPROACH3,
+    FIGURE10_TRACE,
+    figure10_program,
+)
+
+
+@pytest.fixture(scope="module")
+def paper_slicer():
+    program = figure10_program()
+    wpp = collect_wpp(program, inputs=FIGURE10_INPUTS)
+    trace = partition_wpp(wpp).traces[0][0]
+    assert trace == FIGURE10_TRACE
+    return DynamicSlicer(program.function("main"), trace)
+
+
+class TestPaperSlices:
+    def test_approach1(self, paper_slicer):
+        result = paper_slicer.slice_approach1(14, ["Z"])
+        assert result.slice_nodes == FIGURE10_SLICE_APPROACH1
+
+    def test_approach2(self, paper_slicer):
+        result = paper_slicer.slice_approach2(
+            14, ["Z"], TimestampSet.single(30)
+        )
+        assert result.slice_nodes == FIGURE10_SLICE_APPROACH2
+
+    def test_approach3(self, paper_slicer):
+        result = paper_slicer.slice_approach3(
+            14, ["Z"], TimestampSet.single(30)
+        )
+        assert result.slice_nodes == FIGURE10_SLICE_APPROACH3
+
+    def test_precision_hierarchy(self, paper_slicer):
+        a1 = paper_slicer.slice_approach1(14, ["Z"]).slice_nodes
+        a2 = paper_slicer.slice_approach2(14, ["Z"]).slice_nodes
+        a3 = paper_slicer.slice_approach3(14, ["Z"]).slice_nodes
+        assert a3 <= a2 <= a1
+
+    def test_discriminating_statements(self, paper_slicer):
+        """The paper's three tell-tale nodes: 10 excluded by all, 3
+        excluded by the dynamic approaches, 8 only by approach 3."""
+        a1 = paper_slicer.slice_approach1(14, ["Z"]).slice_nodes
+        a2 = paper_slicer.slice_approach2(14, ["Z"]).slice_nodes
+        a3 = paper_slicer.slice_approach3(14, ["Z"]).slice_nodes
+        assert 10 not in a1 and 10 not in a2 and 10 not in a3
+        assert 3 in a1 and 3 not in a2 and 3 not in a3
+        assert 8 in a1 and 8 in a2 and 8 not in a3
+
+    def test_default_criterion_uses_all_instances(self, paper_slicer):
+        explicit = paper_slicer.slice_approach2(
+            14, ["Z"], TimestampSet.single(30)
+        )
+        default = paper_slicer.slice_approach2(14, ["Z"])
+        assert default.slice_nodes == explicit.slice_nodes
+
+    def test_result_api(self):
+        program = figure10_program()
+        trace = partition_wpp(
+            collect_wpp(program, inputs=FIGURE10_INPUTS)
+        ).traces[0][0]
+        slicer = DynamicSlicer(program.function("main"), trace)
+        result = slicer.slice_approach3(14, ["Z"])
+        assert 14 in result
+        assert result.sorted() == sorted(result.slice_nodes)
+        assert result.queries_issued > 0
+
+    def test_dependence_cache_across_requests(self):
+        """Repeated slicing requests reuse cached dependence searches
+        (the paper's incremental dynamic dependence graph)."""
+        program = figure10_program()
+        trace = partition_wpp(
+            collect_wpp(program, inputs=FIGURE10_INPUTS)
+        ).traces[0][0]
+        slicer = DynamicSlicer(program.function("main"), trace)
+        first = slicer.slice_approach3(14, ["Z"], TimestampSet.single(30))
+        assert slicer.cache_hits == 0
+        second = slicer.slice_approach3(14, ["Z"], TimestampSet.single(30))
+        assert second.slice_nodes == first.slice_nodes
+        assert slicer.cache_hits > 0
+        assert second.queries_issued < first.queries_issued
+
+
+class TestInstancePrecision:
+    @pytest.fixture()
+    def toggle_slicer(self):
+        """x is written by two different statements across iterations;
+        instance-level slicing must pick only the relevant writer."""
+        pb = ProgramBuilder()
+        main = pb.function("main")
+        b1 = main.block()  # i = 0, a = 1, b = 2
+        b2 = main.block()  # head
+        b3 = main.block()  # even: x = a
+        b4 = main.block()  # odd:  x = b
+        b5 = main.block()  # y = x   (one statement per block, as in the
+        b6 = main.block()  # exit     paper's statement-level example)
+        b1.assign("i", 0).assign("a", 1).assign("b", 2).jump(b2)
+        b2.branch(binop("<", "i", 4), 7, 6)
+        b3.assign("x", "a").jump(b5)
+        b4.assign("x", "b").jump(b5)
+        b5.assign("y", "x").jump(8)
+        b6.ret("y")
+        b7 = main.block()  # cond
+        b7.branch(binop("==", binop("%", "i", 2), 0), b3, b4)
+        b8 = main.block()  # i = i + 1
+        b8.assign("i", binop("+", "i", 1)).jump(b2)
+        program = pb.build()
+        trace = partition_wpp(collect_wpp(program)).traces[0][0]
+        return DynamicSlicer(program.function("main"), trace)
+
+    def test_a3_selects_single_writer(self, toggle_slicer):
+        # The last y = x (odd iteration, i=3) took x from b4 (x = b).
+        cfg = toggle_slicer.cfg
+        last_latch_ts = TimestampSet.single(cfg.ts(5).max())
+        a3 = toggle_slicer.slice_approach3(5, ["x"], last_latch_ts)
+        assert 4 in a3.slice_nodes
+        assert 3 not in a3.slice_nodes
+
+    def test_a2_includes_both_writers(self, toggle_slicer):
+        cfg = toggle_slicer.cfg
+        last_latch_ts = TimestampSet.single(cfg.ts(5).max())
+        a2 = toggle_slicer.slice_approach2(5, ["x"], last_latch_ts)
+        # Approach 2 re-queries with *all* timestamps of found sources,
+        # so it pulls in both writers via the shared latch queries.
+        assert 4 in a2.slice_nodes
+
+
+class TestEdgeCases:
+    def test_criterion_variable_never_defined(self, paper_slicer):
+        result = paper_slicer.slice_approach3(
+            14, ["undefined_var"], TimestampSet.single(30)
+        )
+        # Slice contains the criterion and its control context only.
+        assert 14 in result.slice_nodes
+        assert result.slice_nodes <= {4, 14} | {1, 2, 12}
+
+    def test_slice_at_first_statement(self, paper_slicer):
+        result = paper_slicer.slice_approach3(
+            1, ["N"], TimestampSet.single(1)
+        )
+        assert result.slice_nodes == {1}

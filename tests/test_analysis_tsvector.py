@@ -1,0 +1,119 @@
+"""Unit + property tests for collective timestamp-set manipulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import TimestampSet
+
+
+def ts(*values):
+    return TimestampSet.from_values(values)
+
+
+class TestConstruction:
+    def test_from_values_sorts_and_dedups(self):
+        s = TimestampSet.from_values([5, 1, 5, 3])
+        assert s.values() == [1, 3, 5]
+
+    def test_from_stream(self):
+        s = TimestampSet.from_stream([2, -6])
+        assert s.values() == [2, 3, 4, 5, 6]
+
+    def test_single(self):
+        assert TimestampSet.single(9).values() == [9]
+        with pytest.raises(ValueError):
+            TimestampSet.single(0)
+
+    def test_empty(self):
+        s = TimestampSet.empty()
+        assert not s and len(s) == 0
+
+    def test_min_max(self):
+        s = ts(4, 9, 2)
+        assert s.min() == 2 and s.max() == 9
+        with pytest.raises(ValueError):
+            TimestampSet().min()
+
+
+class TestPaperArithmetic:
+    def test_collective_decrement(self):
+        """(2:20:2) decremented is (1:19:2) -- 10 subpaths at once."""
+        s = TimestampSet(entries=((2, 20, 2),))
+        shifted = s.shift(-1)
+        assert shifted.entries == ((1, 19, 2),)
+        assert shifted.slot_count() == 1
+
+    def test_shift_clips_at_one(self):
+        s = TimestampSet(entries=((1, 9, 2),))  # 1,3,5,7,9
+        shifted = s.shift(-2)
+        assert shifted.values() == [1, 3, 5, 7]
+
+    def test_figure9_intersections(self):
+        block4 = TimestampSet(entries=((4, 299, 5),))
+        block3 = TimestampSet(entries=((3, 198, 5),))
+        block7 = TimestampSet(entries=((203, 498, 5),))
+        q = block4.shift(-1)
+        assert q.intersect(block3).entries == ((3, 198, 5),)
+        assert q.intersect(block7).entries == ((203, 298, 5),)
+
+    def test_crt_incompatible_is_empty(self):
+        evens = TimestampSet(entries=((2, 100, 2),))
+        odds = TimestampSet(entries=((1, 99, 2),))
+        assert not evens.intersect(odds)
+
+    def test_crt_mixed_steps(self):
+        threes = TimestampSet(entries=((3, 300, 3),))
+        fives = TimestampSet(entries=((5, 300, 5),))
+        inter = threes.intersect(fives)
+        assert inter.values() == list(range(15, 301, 15))
+        assert inter.slot_count() == 1  # stays a single series
+
+
+@st.composite
+def value_sets(draw):
+    return draw(st.sets(st.integers(1, 120), max_size=30))
+
+
+class TestSetSemantics:
+    @given(value_sets(), value_sets())
+    @settings(max_examples=300)
+    def test_intersect(self, a, b):
+        assert set(ts(*a).intersect(ts(*b))) == a & b
+
+    @given(value_sets(), value_sets())
+    @settings(max_examples=300)
+    def test_union(self, a, b):
+        assert set(ts(*a).union(ts(*b))) == a | b
+
+    @given(value_sets(), value_sets())
+    @settings(max_examples=300)
+    def test_subtract(self, a, b):
+        assert set(ts(*a).subtract(ts(*b))) == a - b
+
+    @given(value_sets(), st.integers(-10, 10))
+    @settings(max_examples=200)
+    def test_shift(self, a, d):
+        assert set(ts(*a).shift(d)) == {x + d for x in a if x + d > 0}
+
+    @given(value_sets())
+    @settings(max_examples=200)
+    def test_len_and_contains(self, a):
+        s = ts(*a)
+        assert len(s) == len(a)
+        for probe in range(1, 130):
+            assert (probe in s) == (probe in a)
+
+    @given(value_sets())
+    @settings(max_examples=200)
+    def test_slot_count_never_exceeds_cardinality(self, a):
+        s = ts(*a)
+        assert s.slot_count() <= max(len(a), 0) or not a
+
+
+class TestRendering:
+    def test_str_forms(self):
+        assert str(TimestampSet(entries=((1, 1, 1),))) == "{1}"
+        assert str(TimestampSet(entries=((2, 6, 1),))) == "{2:6}"
+        assert str(TimestampSet(entries=((4, 299, 5),))) == "{4:299:5}"
+        assert str(TimestampSet()) == "{}"

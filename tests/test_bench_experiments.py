@@ -1,0 +1,112 @@
+"""Integration tests for the experiment drivers (small scale).
+
+These build one downsized artifact bundle and check that every table
+driver produces structurally valid output with the paper's qualitative
+relationships.  The full-scale assertions live in benchmarks/.
+"""
+
+import pytest
+
+from repro.bench import (
+    build_artifacts,
+    fig8_redundancy,
+    fig9_redundancy_analysis,
+    fig10_slicing,
+    fig12_currency,
+    table1_wpp_sizes,
+    table2_stage_compaction,
+    table3_overall,
+    table4_access_time,
+    table5_sequitur,
+    table6_flowgraphs,
+)
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench-small")
+    return [
+        build_artifacts(name, scale=0.2, out_dir=out)
+        for name in ("li-like", "perl-like")
+    ]
+
+
+class TestSizeTables:
+    def test_table1(self, artifacts):
+        table = table1_wpp_sizes(artifacts)
+        assert len(table.rows) == 2
+        for row in table.data:
+            assert row["total_bytes"] == row["dcg_bytes"] + row["trace_bytes"]
+
+    def test_table2_factors_compose(self, artifacts):
+        table = table2_stage_compaction(artifacts)
+        for row in table.data:
+            assert row["trace_factor"] == pytest.approx(
+                row["dedup_factor"] * row["dict_factor"] * row["twpp_factor"]
+            )
+            assert row["dedup_factor"] > 1.0
+
+    def test_table3_consistent_with_files(self, artifacts):
+        table = table3_overall(artifacts)
+        for art, row in zip(artifacts, table.data):
+            # The .twpp file adds only the header index on top of the
+            # accounted components.
+            assert art.twpp_bytes >= row["total_bytes"]
+            assert art.twpp_bytes < row["total_bytes"] * 1.5 + 4096
+
+    def test_render_does_not_crash(self, artifacts):
+        for table in (
+            table1_wpp_sizes(artifacts),
+            table2_stage_compaction(artifacts),
+            table3_overall(artifacts),
+        ):
+            assert table.title in table.render()
+
+
+class TestTimingTables:
+    def test_table4(self, artifacts):
+        table = table4_access_time(artifacts, sample=3)
+        for row in table.data:
+            assert row["avg_u_ms"] > 0
+            assert row["avg_c_ms"] > 0
+            assert row["max_u_ms"] >= row["avg_u_ms"]
+            assert row["speedup"] == pytest.approx(
+                row["avg_u_ms"] / row["avg_c_ms"]
+            )
+
+    def test_table5(self, artifacts):
+        table = table5_sequitur(artifacts, sample=3)
+        for row in table.data:
+            assert row["seq_total_ms"] == pytest.approx(
+                row["seq_read_ms"] + row["seq_process_ms"]
+            )
+            assert row["sequitur_bytes"] > 0
+
+    def test_table6(self, artifacts):
+        table = table6_flowgraphs(artifacts)
+        for row in table.data:
+            assert row["static_nodes"] > 0
+            assert row["dynamic_nodes"] > 0
+            assert row["avg_vector_slots"] <= row["avg_vector_raw"]
+
+
+class TestFigures:
+    def test_fig8_monotone(self, artifacts):
+        table = fig8_redundancy(artifacts)
+        for row in table.data:
+            buckets = [row[f"pct_le_{n}"] for n in (1, 2, 5, 10, 25)]
+            assert buckets == sorted(buckets)
+            assert buckets[-1] <= 100.0
+
+    def test_fig9_matches_paper(self):
+        table = fig9_redundancy_analysis()
+        for row in table.data:
+            assert row["measured"] == row["paper"]
+
+    def test_fig10_matches_paper(self):
+        table = fig10_slicing()
+        assert all(row["matches"] for row in table.data)
+
+    def test_fig12_matches_paper(self):
+        table = fig12_currency()
+        assert all(row["matches"] for row in table.data)

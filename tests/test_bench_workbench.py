@@ -1,0 +1,51 @@
+"""Unit tests for the bench artifact builder."""
+
+import pytest
+
+from repro.bench import bench_scale, build_artifacts
+from repro.compact import read_twpp, verify_compacted
+from repro.trace import read_wpp
+
+
+class TestBuildArtifacts:
+    @pytest.fixture(scope="class")
+    def art(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("wb")
+        return build_artifacts("li-like", scale=0.1, out_dir=out)
+
+    def test_files_written_and_sized(self, art):
+        assert art.wpp_path.stat().st_size == art.wpp_bytes
+        assert art.twpp_path.stat().st_size == art.twpp_bytes
+        assert art.sqwp_path.stat().st_size == art.sqwp_bytes
+
+    def test_in_memory_and_on_disk_agree(self, art):
+        wpp = read_wpp(art.wpp_path)
+        assert list(wpp.events) == list(art.wpp.events)
+        loaded = read_twpp(art.twpp_path)
+        assert loaded.func_names == art.compacted.func_names
+
+    def test_compacted_passes_integrity(self, art):
+        verify_compacted(art.compacted, art.program)
+
+    def test_traced_function_names_hottest_first(self, art):
+        names = art.traced_function_names()
+        counts = art.partitioned.call_counts()
+        values = [counts[n] for n in names]
+        assert values == sorted(values, reverse=True)
+
+    def test_without_sequitur(self, tmp_path):
+        art = build_artifacts(
+            "perl-like", scale=0.05, out_dir=tmp_path, with_sequitur=False
+        )
+        assert art.sqwp_bytes == 0
+        assert not art.sqwp_path.exists()
+
+
+class TestBenchScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == 1.0
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
+        assert bench_scale() == 2.5

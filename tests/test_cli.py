@@ -1,0 +1,158 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def pipeline_files(tmp_path):
+    """generate -> trace -> compact -> sequitur, returning all paths."""
+    ir = tmp_path / "p.ir"
+    wpp = tmp_path / "p.wpp"
+    twpp = tmp_path / "p.twpp"
+    sqwp = tmp_path / "p.sqwp"
+    assert main(["generate", "perl-like", "--scale", "0.1", "-o", str(ir)]) == 0
+    assert main(["trace", str(ir), "-o", str(wpp)]) == 0
+    assert main(["compact", str(wpp), "-o", str(twpp)]) == 0
+    assert main(["sequitur", str(wpp), "-o", str(sqwp)]) == 0
+    return ir, wpp, twpp, sqwp
+
+
+class TestGenerate:
+    def test_to_stdout(self, capsys):
+        assert main(["generate", "li-like", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "func main()" in out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["generate", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestPipeline:
+    def test_files_created(self, pipeline_files):
+        for path in pipeline_files:
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_compact_smaller_than_raw(self, pipeline_files):
+        _ir, wpp, twpp, sqwp = pipeline_files
+        assert twpp.stat().st_size < wpp.stat().st_size
+        assert sqwp.stat().st_size < wpp.stat().st_size
+
+    def test_trace_with_args_and_inputs(self, tmp_path, capsys):
+        ir = tmp_path / "echo.ir"
+        ir.write_text(
+            "func main(a) entry=B1 {\n"
+            "  B1:\n"
+            "    n = read()\n"
+            "    write (a + n)\n"
+            "    return 0\n"
+            "}\n"
+        )
+        out_path = tmp_path / "echo.wpp"
+        assert (
+            main(
+                [
+                    "trace",
+                    str(ir),
+                    "-o",
+                    str(out_path),
+                    "--arg",
+                    "40",
+                    "--input",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "program output: 42" in capsys.readouterr().out
+
+
+class TestInfo:
+    def test_all_three_formats(self, pipeline_files, capsys):
+        _ir, wpp, twpp, sqwp = pipeline_files
+        assert main(["info", str(wpp)]) == 0
+        assert "uncompacted WPP" in capsys.readouterr().out
+        assert main(["info", str(twpp)]) == 0
+        assert "compacted TWPP" in capsys.readouterr().out
+        assert main(["info", str(sqwp)]) == 0
+        assert "Sequitur-compressed" in capsys.readouterr().out
+
+    def test_unknown_format(self, tmp_path, capsys):
+        junk = tmp_path / "x.bin"
+        junk.write_bytes(b"JUNKJUNK")
+        assert main(["info", str(junk)]) == 2
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "missing")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_query_each_format_agrees(self, pipeline_files, capsys):
+        _ir, wpp, twpp, sqwp = pipeline_files
+        outputs = {}
+        for path in (wpp, twpp, sqwp):
+            assert main(["query", str(path), "main", "--limit", "0"]) == 0
+            outputs[path.suffix] = capsys.readouterr().out
+        # main runs once, so all three agree on its single trace line.
+        trace_lines = {
+            suffix: [l for l in text.splitlines() if l.startswith("  ")]
+            for suffix, text in outputs.items()
+        }
+        assert trace_lines[".wpp"] == trace_lines[".twpp"] == trace_lines[".sqwp"]
+
+    def test_limit_truncates(self, pipeline_files, capsys):
+        _ir, wpp, _twpp, _sqwp = pipeline_files
+        # Find a hot function from info output.
+        assert main(["info", str(wpp)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        hot = next(
+            l.split(":")[0].strip()
+            for l in lines
+            if l.startswith("  fn_")
+        )
+        assert main(["query", str(wpp), hot, "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "more)" in out or out.count("\n  ") == 1
+
+
+class TestStats:
+    def test_report_fields(self, pipeline_files, capsys):
+        _ir, wpp, _twpp, _sqwp = pipeline_files
+        assert main(["stats", str(wpp)]) == 0
+        out = capsys.readouterr().out
+        for field in ("events", "after dedup", "overall x"):
+            assert field in out
+
+
+class TestCheck:
+    def test_valid_file_passes(self, pipeline_files, capsys):
+        ir, _wpp, twpp, _sqwp = pipeline_files
+        assert main(["check", str(twpp), "--program", str(ir)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok:") == 3
+
+    def test_without_program(self, pipeline_files, capsys):
+        _ir, _wpp, twpp, _sqwp = pipeline_files
+        assert main(["check", str(twpp)]) == 0
+        assert capsys.readouterr().out.count("ok:") == 2
+
+
+class TestHotPaths:
+    def test_report(self, pipeline_files, capsys):
+        _ir, wpp, _twpp, _sqwp = pipeline_files
+        assert main(["hotpaths", str(wpp), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct acyclic paths" in out
+        assert "cover 90%" in out
+
+
+class TestCoverage:
+    def test_report(self, pipeline_files, capsys):
+        ir, wpp, _twpp, _sqwp = pipeline_files
+        assert main(["coverage", str(wpp), "--program", str(ir)]) == 0
+        out = capsys.readouterr().out
+        assert "overall block coverage" in out
+        assert "main" in out

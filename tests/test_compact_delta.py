@@ -1,0 +1,99 @@
+"""Unit tests for TWPP run comparison (delta analysis)."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.compact import compact_wpp, diff_compacted, diff_twpp_files, write_twpp
+from repro.trace import collect_wpp, partition_wpp
+from repro.workloads import figure9_program, figure12_program, workload
+
+
+def compacted_for(program, args=()):
+    wpp = collect_wpp(program, args=args)
+    compacted, _stats = compact_wpp(partition_wpp(wpp))
+    return compacted
+
+
+class TestIdenticalRuns:
+    def test_self_diff_is_identical(self):
+        program, _spec = workload("li-like", scale=0.1)
+        a = compacted_for(program)
+        b = compacted_for(program)
+        delta = diff_compacted(a, b)
+        assert delta.identical
+        assert delta.changed_functions() == []
+        assert delta.render() == "runs are behaviourally identical"
+
+    def test_equal_despite_different_compaction(self):
+        """Comparison is over expanded traces, not stored encodings."""
+        program = figure9_program()
+        a = compacted_for(program, args=[0])
+        b = compacted_for(program, args=[0])
+        # Reorder b's dictionary table; pairs updated accordingly.
+        fc = b.function("main")
+        if len(fc.dict_table) > 1:
+            fc.dict_table.reverse()
+            fc.pairs = [
+                (t, len(fc.dict_table) - 1 - d) for t, d in fc.pairs
+            ]
+        assert diff_compacted(a, b).identical
+
+
+class TestBehaviouralChanges:
+    def test_different_input_changes_traces(self):
+        program = figure12_program()
+        a = compacted_for(program, args=[1])  # path 1.2.3
+        b = compacted_for(program, args=[0])  # path 1.4.3
+        delta = diff_compacted(a, b)
+        assert not delta.identical
+        main_delta = delta.functions["main"]
+        assert main_delta.trace_set_changed
+        assert main_delta.only_in_a == {(1, 2, 3)}
+        assert main_delta.only_in_b == {(1, 4, 3)}
+        assert "+1 new trace" in main_delta.summary()
+        assert "-1 vanished trace" in main_delta.summary()
+
+    def test_scale_changes_call_counts(self):
+        pa, _ = workload("perl-like", scale=0.1)
+        pb, _ = workload("perl-like", scale=0.2)
+        delta = diff_compacted(compacted_for(pa), compacted_for(pb))
+        assert not delta.identical
+        changed = delta.changed_functions()
+        assert any(d.call_count_changed for d in changed)
+
+    def test_function_only_in_one_run(self):
+        pa, _ = workload("gcc-like", scale=0.05)
+        pb, _ = workload("gcc-like", scale=0.3)
+        delta = diff_compacted(compacted_for(pa), compacted_for(pb))
+        # The bigger run reaches functions the tiny one never called.
+        assert delta.only_in_b
+        assert all(isinstance(n, str) for n in delta.only_in_b)
+
+    def test_render_limit(self):
+        pa, _ = workload("perl-like", scale=0.1)
+        pb, _ = workload("perl-like", scale=0.3)
+        delta = diff_compacted(compacted_for(pa), compacted_for(pb))
+        short = delta.render(limit=1)
+        assert "more changed function(s)" in short
+
+
+class TestFileAndCli:
+    def test_diff_twpp_files(self, tmp_path):
+        program = figure12_program()
+        a_path = tmp_path / "a.twpp"
+        b_path = tmp_path / "b.twpp"
+        write_twpp(compacted_for(program, args=[1]), a_path)
+        write_twpp(compacted_for(program, args=[0]), b_path)
+        delta = diff_twpp_files(a_path, b_path)
+        assert not delta.identical
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        program = figure12_program()
+        a_path = tmp_path / "a.twpp"
+        b_path = tmp_path / "b.twpp"
+        write_twpp(compacted_for(program, args=[1]), a_path)
+        write_twpp(compacted_for(program, args=[0]), b_path)
+        assert cli_main(["diff", str(a_path), str(a_path)]) == 0
+        assert "identical" in capsys.readouterr().out
+        assert cli_main(["diff", str(a_path), str(b_path)]) == 1
+        assert "main:" in capsys.readouterr().out

@@ -1,0 +1,71 @@
+"""Unit + property tests for the LZW codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compact import lzw_compress, lzw_decompress
+
+
+class TestBasics:
+    def test_empty(self):
+        assert lzw_compress(b"") == b""
+        assert lzw_decompress(b"") == b""
+
+    def test_single_byte(self):
+        assert lzw_decompress(lzw_compress(b"A")) == b"A"
+
+    def test_repetitive_input_compresses(self):
+        data = b"abcabcabc" * 200
+        comp = lzw_compress(data)
+        assert len(comp) < len(data) // 4
+        assert lzw_decompress(comp) == data
+
+    def test_kwkwk_case(self):
+        """The classic LZW edge: a code used before it is fully defined."""
+        data = b"ababababa"  # forces cScSc pattern
+        assert lzw_decompress(lzw_compress(data)) == data
+        data = b"aaaaaaa"
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_all_byte_values(self):
+        data = bytes(range(256)) * 3
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_corrupt_stream_rejected(self):
+        from repro.trace.encoding import write_uvarint
+
+        buf = bytearray()
+        write_uvarint(buf, 65)  # 'A'
+        write_uvarint(buf, 99999)  # far beyond the dictionary
+        with pytest.raises(ValueError, match="out of range"):
+            lzw_decompress(bytes(buf))
+
+    def test_bad_first_code(self):
+        from repro.trace.encoding import write_uvarint
+
+        buf = bytearray()
+        write_uvarint(buf, 300)
+        with pytest.raises(ValueError, match="first code"):
+            lzw_decompress(bytes(buf))
+
+
+class TestProperties:
+    @given(st.binary(max_size=2000))
+    @settings(max_examples=200)
+    def test_roundtrip(self, data):
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    @given(st.binary(min_size=1, max_size=50))
+    def test_roundtrip_highly_repetitive(self, chunk):
+        data = chunk * 50
+        comp = lzw_compress(data)
+        assert lzw_decompress(comp) == data
+        assert len(comp) < len(data)
+
+    def test_dcg_like_input(self, small_partitioned):
+        """The real use: the serialized DCG compresses and round-trips."""
+        raw = small_partitioned.dcg.serialize()
+        comp = lzw_compress(raw)
+        assert lzw_decompress(comp) == raw
+        assert len(comp) < len(raw)

@@ -1,0 +1,96 @@
+"""Unit tests for the fast per-function query path over .twpp files."""
+
+import pytest
+
+from repro.compact import (
+    TwppReader,
+    compact_wpp,
+    extract_function,
+    extract_function_record,
+    extract_function_traces,
+    write_twpp,
+)
+from repro.trace import partition_wpp, scan_function_traces, write_wpp
+
+
+@pytest.fixture
+def files(tmp_path, small_workload):
+    program, _spec, wpp = small_workload
+    part = partition_wpp(wpp)
+    compacted, _stats = compact_wpp(part)
+    twpp_path = tmp_path / "w.twpp"
+    wpp_path = tmp_path / "w.wpp"
+    write_twpp(compacted, twpp_path)
+    write_wpp(wpp, wpp_path)
+    return part, compacted, twpp_path, wpp_path
+
+
+class TestReader:
+    def test_function_names_hottest_first(self, files):
+        part, _c, twpp_path, _w = files
+        with TwppReader(twpp_path) as reader:
+            names = reader.function_names()
+        counts = part.call_counts()
+        assert [counts[n] for n in names] == sorted(
+            counts.values(), reverse=True
+        )
+
+    def test_call_count(self, files):
+        part, _c, twpp_path, _w = files
+        with TwppReader(twpp_path) as reader:
+            for name, count in part.call_counts().items():
+                assert reader.call_count(name) == count
+
+    def test_extract_matches_in_memory(self, files):
+        part, compacted, twpp_path, _w = files
+        target = compacted.functions[0].name
+        with TwppReader(twpp_path) as reader:
+            fc = reader.extract(target)
+        orig = compacted.function(target)
+        assert fc.trace_table == orig.trace_table
+        assert fc.pairs == orig.pairs
+
+    def test_unknown_function(self, files):
+        _p, _c, twpp_path, _w = files
+        with TwppReader(twpp_path) as reader:
+            with pytest.raises(KeyError, match="ghost"):
+                reader.extract("ghost")
+
+    def test_unique_path_traces_expand_dbbs(self, files):
+        part, _c, twpp_path, _w = files
+        name = part.func_names[1]
+        with TwppReader(twpp_path) as reader:
+            traces = reader.unique_path_traces(name)
+        idx = part.func_index(name)
+        assert traces == part.traces[idx]
+
+
+class TestColdQueries:
+    def test_extract_function_traces(self, files):
+        part, _c, twpp_path, _w = files
+        for name in part.func_names[:4]:
+            idx = part.func_index(name)
+            assert extract_function_traces(twpp_path, name) == part.traces[idx]
+
+    def test_extract_function_record(self, files):
+        _p, compacted, twpp_path, _w = files
+        name = compacted.functions[0].name
+        fc = extract_function_record(twpp_path, name)
+        assert fc.name == name
+
+    def test_extract_function_module_level(self, files):
+        _p, compacted, twpp_path, _w = files
+        name = compacted.functions[0].name
+        fc = extract_function(twpp_path, name)
+        assert fc.trace_table == compacted.function(name).trace_table
+
+
+class TestAgreementWithScan:
+    def test_compacted_and_scan_agree_on_unique_sets(self, files):
+        """The two extraction paths (Table 4's U and C) agree."""
+        part, _c, twpp_path, wpp_path = files
+        for name in part.func_names:
+            compacted_traces = set(extract_function_traces(twpp_path, name))
+            scanned = scan_function_traces(wpp_path, name)
+            assert set(scanned) == compacted_traces
+            assert len(scanned) == part.call_counts()[name]

@@ -1,0 +1,126 @@
+"""Unit + property tests for arithmetic-series timestamp compaction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compact import (
+    compress_series,
+    decompress_series,
+    entry_count,
+    iter_entries,
+    series_contains,
+    series_len,
+)
+
+
+class TestPaperExamples:
+    def test_figure7_main(self):
+        """{1 -> {-1}, 2 -> {2:-6}, 6 -> {-7}} from Figure 7."""
+        assert compress_series([1]) == [-1]
+        assert compress_series([2, 3, 4, 5, 6]) == [2, -6]
+        assert compress_series([7]) == [-7]
+
+    def test_stepped_series(self):
+        assert compress_series([2, 4, 6, 8, 20]) == [2, 8, -2, -20]
+
+    def test_entry_shapes(self):
+        assert list(iter_entries([-5])) == [(5, 5, 1)]
+        assert list(iter_entries([3, -9])) == [(3, 9, 1)]
+        assert list(iter_entries([4, 299, -5])) == [(4, 299, 5)]
+
+    def test_sign_encodes_boundaries_without_extra_ints(self):
+        # Three entries, six integers total -- no delimiters.
+        stream = [1, -3, 10, 20, -5, -99]
+        assert entry_count(stream) == 3
+        assert decompress_series(stream) == [1, 2, 3, 10, 15, 20, 99]
+
+
+class TestGreedyChoices:
+    def test_pair_with_step_one_uses_range(self):
+        assert compress_series([5, 6]) == [5, -6]
+
+    def test_pair_with_large_step_uses_singletons(self):
+        # l:h:s costs 3 ints; two singletons cost 2.
+        assert compress_series([5, 50]) == [-5, -50]
+
+    def test_triple_with_step_uses_series(self):
+        assert compress_series([5, 50, 95]) == [5, 95, -45]
+
+    def test_mixed(self):
+        ts = [1, 2, 3, 10, 20, 30, 77]
+        stream = compress_series(ts)
+        assert decompress_series(stream) == ts
+        assert entry_count(stream) == 3
+
+
+class TestValidation:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            compress_series([0, 1])
+        with pytest.raises(ValueError):
+            compress_series([-3])
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="increasing"):
+            compress_series([3, 2])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="increasing"):
+            compress_series([2, 2])
+
+    def test_malformed_stream_open_entry(self):
+        with pytest.raises(ValueError, match="mid-entry"):
+            list(iter_entries([3, 5]))
+
+    def test_malformed_stream_long_entry(self):
+        with pytest.raises(ValueError, match="longer"):
+            list(iter_entries([3, 5, 7, -9]))
+
+    def test_malformed_decreasing_series(self):
+        with pytest.raises(ValueError):
+            list(iter_entries([9, -3]))
+
+    def test_malformed_step(self):
+        with pytest.raises(ValueError, match="malformed"):
+            list(iter_entries([3, 10, -4]))  # (10-3) % 4 != 0
+
+
+@st.composite
+def timestamp_lists(draw):
+    values = draw(
+        st.sets(st.integers(1, 10_000), min_size=0, max_size=200)
+    )
+    return sorted(values)
+
+
+class TestProperties:
+    @given(timestamp_lists())
+    @settings(max_examples=300)
+    def test_roundtrip(self, ts):
+        assert decompress_series(compress_series(ts)) == ts
+
+    @given(timestamp_lists())
+    @settings(max_examples=200)
+    def test_never_longer_than_input(self, ts):
+        assert len(compress_series(ts)) <= max(len(ts), 0) or not ts
+
+    @given(timestamp_lists())
+    @settings(max_examples=200)
+    def test_series_len_without_expansion(self, ts):
+        assert series_len(compress_series(ts)) == len(ts)
+
+    @given(timestamp_lists(), st.integers(1, 10_000))
+    @settings(max_examples=200)
+    def test_contains_agrees_with_membership(self, ts, probe):
+        stream = compress_series(ts)
+        assert series_contains(stream, probe) == (probe in set(ts))
+
+    @given(st.integers(1, 500), st.integers(1, 50), st.integers(2, 100))
+    def test_perfect_series_costs_at_most_three(self, lo, step, count):
+        ts = [lo + i * step for i in range(count)]
+        stream = compress_series(ts)
+        if step == 1:
+            assert len(stream) == 2
+        else:
+            assert len(stream) == 3 if count >= 3 else len(stream) <= 2

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs and prints its key results.
+
+Examples are documentation that executes; these tests keep them from
+rotting as the library evolves.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv, capsys):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name)] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", [], capsys)
+        assert "1.2.2.2.2.2.6" in out
+        assert "identical" in out
+
+    def test_profile_guided_optimization(self, capsys):
+        out = run_example("profile_guided_optimization.py", [], capsys)
+        assert "degree of redundancy : 100%" in out
+        assert "queries generated    : 6" in out
+        assert "Optimizer decision" in out
+
+    def test_debugging_slices(self, capsys):
+        out = run_example("debugging_slices.py", [], capsys)
+        assert "{1,2,3,4,5,6,7,8,9,11,12,13,14}" in out
+        assert "{1,2,4,5,6,7,8,9,11,12,13,14}" in out
+        assert "{1,2,4,5,6,7,9,11,12,13,14}" in out
+
+    def test_currency_debugger(self, capsys):
+        out = run_example("currency_debugger.py", [], capsys)
+        assert "X is current" in out
+        assert "X is NOT current" in out
+
+    def test_trace_explorer(self, capsys):
+        out = run_example("trace_explorer.py", ["0.2"], capsys)
+        assert "On-disk sizes" in out
+        assert ".twpp (compacted)" in out
+        assert "Per-function query cost" in out
+
+    def test_hot_paths(self, capsys):
+        out = run_example("hot_paths.py", ["perl-like", "0.2"], capsys)
+        assert "Hottest paths" in out
+        assert "cover 90%" in out
+        assert "Specialize along" in out

@@ -1,0 +1,168 @@
+"""Failure-injection tests: corrupted files must fail loudly and cleanly.
+
+Truncated or bit-flipped inputs may not always be *detectable* (a flip
+inside trace data can decode to different-but-valid data), but they
+must never escape as anything other than a clean ValueError-family
+error -- no hangs, no index crashes deep inside decoding loops.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compact import compact_wpp, read_twpp, write_twpp
+from repro.compact.query import extract_function_traces
+from repro.sequitur import decompress_wpp, write_compressed_wpp
+from repro.trace import collect_wpp, partition_wpp, read_wpp, write_wpp
+from repro.workloads import figure1_program
+
+ACCEPTABLE = (ValueError, KeyError, IndexError, OverflowError)
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    return tmp_path_factory.mktemp("robust-work")
+
+
+@pytest.fixture(scope="module")
+def originals(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("robust")
+    program = figure1_program()
+    wpp = collect_wpp(program)
+    compacted, _stats = compact_wpp(partition_wpp(wpp))
+    wpp_path = tmp / "a.wpp"
+    twpp_path = tmp / "a.twpp"
+    sqwp_path = tmp / "a.sqwp"
+    write_wpp(wpp, wpp_path)
+    write_twpp(compacted, twpp_path)
+    write_compressed_wpp(wpp, sqwp_path)
+    return {
+        "wpp": wpp_path.read_bytes(),
+        "twpp": twpp_path.read_bytes(),
+        "sqwp": sqwp_path.read_bytes(),
+    }
+
+
+def _try_decode(kind: str, data: bytes, tmp_path) -> None:
+    path = tmp_path / f"x.{kind}"
+    path.write_bytes(data)
+    if kind == "wpp":
+        read_wpp(path)
+    elif kind == "twpp":
+        loaded = read_twpp(path)
+        if loaded.functions:
+            extract_function_traces(path, loaded.functions[0].name)
+    else:
+        decompress_wpp(path)
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("kind", ["wpp", "twpp", "sqwp"])
+    def test_every_truncation_fails_cleanly(self, kind, originals, tmp_path):
+        data = originals[kind]
+        # Sample truncation points densely near the start (headers) and
+        # sparsely through the body.
+        points = list(range(1, min(len(data), 24))) + list(
+            range(24, len(data) - 1, max(1, len(data) // 40))
+        )
+        detected = 0
+        for cut in points:
+            try:
+                _try_decode(kind, data[:cut], tmp_path)
+            except ACCEPTABLE:
+                detected += 1
+        # Nearly all truncations must be detected (a cut landing on a
+        # record boundary of a trailing section can look complete).
+        assert detected >= len(points) - 2, (kind, detected, len(points))
+
+
+class TestBitFlips:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_flips_never_crash_uncleanly(self, originals, workdir, data):
+        kind = data.draw(st.sampled_from(["wpp", "twpp", "sqwp"]))
+        raw = bytearray(originals[kind])
+        pos = data.draw(st.integers(0, len(raw) - 1))
+        bit = data.draw(st.integers(0, 7))
+        raw[pos] ^= 1 << bit
+        try:
+            _try_decode(kind, bytes(raw), workdir)
+        except ACCEPTABLE:
+            pass  # clean rejection is the expected common case
+
+    def test_magic_corruption_always_detected(self, originals, tmp_path):
+        for kind in ("wpp", "twpp", "sqwp"):
+            raw = bytearray(originals[kind])
+            raw[0] ^= 0xFF
+            with pytest.raises(ValueError):
+                _try_decode(kind, bytes(raw), tmp_path)
+
+
+class TestSemanticCorruption:
+    def test_integrity_checker_catches_deep_damage(self, tmp_path):
+        """Damage that decodes cleanly is caught by verify_compacted."""
+        from repro.compact import IntegrityError, verify_compacted
+
+        program = figure1_program()
+        compacted, _stats = compact_wpp(
+            partition_wpp(collect_wpp(program))
+        )
+        # Re-point an activation at a different (valid) pair: the file
+        # decodes, sizes match, but the call-count bookkeeping and the
+        # tree shape give it away against the program.
+        fc = compacted.function("f")
+        fc.call_count += 1
+        with pytest.raises(IntegrityError):
+            verify_compacted(compacted, program)
+
+
+class TestAllocationBombs:
+    """Corrupted length fields must be rejected *before* allocation."""
+
+    def test_huge_event_count_rejected(self, tmp_path):
+        from repro.trace.encoding import write_uvarint
+
+        buf = bytearray(b"WPP1")
+        write_uvarint(buf, 0)  # no functions
+        write_uvarint(buf, 1 << 40)  # claims a trillion events
+        path = tmp_path / "bomb.wpp"
+        path.write_bytes(bytes(buf))
+        with pytest.raises(ValueError, match="corrupt count"):
+            read_wpp(path)
+
+    def test_huge_series_rejected(self):
+        """A 3-integer stream claiming 2^40 timestamps must not expand."""
+        from repro.compact.twpp import TwppPathTrace, twpp_to_trace
+
+        bomb = TwppPathTrace(entries=((1, (1, 1 << 40, -1)),))
+        with pytest.raises(ValueError, match="sanity bound"):
+            twpp_to_trace(bomb)
+
+    def test_exponential_grammar_rejected(self, tmp_path):
+        """A tiny DAG grammar can claim exponential expansion; the
+        decompressor must refuse instead of walking it."""
+        from repro.sequitur.grammar import Grammar
+        from repro.sequitur.wpp_codec import serialize_compressed_wpp
+        from repro.trace.encoding import write_string, write_uvarint
+
+        # rule k expands to two copies of rule k+1: 2^39 terminals.
+        depth = 40
+        rules = [(-(i + 2), -(i + 2)) for i in range(depth - 1)]
+        rules.append((2,))
+        grammar = Grammar(rules=[tuple(r) for r in rules])
+        buf = bytearray(b"SQWP")
+        write_uvarint(buf, 0)
+        buf.extend(grammar.serialize())
+        path = tmp_path / "bomb.sqwp"
+        path.write_bytes(bytes(buf))
+        with pytest.raises(ValueError, match="sanity bound"):
+            decompress_wpp(path)
+
+    def test_check_count_unit(self):
+        from repro.trace.encoding import check_count
+
+        check_count(3, b"xxx", 0)
+        with pytest.raises(ValueError):
+            check_count(4, b"xxx", 0)
+        with pytest.raises(ValueError):
+            check_count(2, b"xxxx", 0, min_bytes=3)

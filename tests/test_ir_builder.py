@@ -1,0 +1,113 @@
+"""Unit tests for the fluent IR builders."""
+
+import pytest
+
+from repro.ir import IRError, ProgramBuilder, binop
+from repro.ir.stmt import Assign, CondJump, Jump, Return, Store, Switch
+
+
+class TestBlockNumbering:
+    def test_blocks_numbered_in_creation_order(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        blocks = [fb.block() for _ in range(4)]
+        assert [b.block_id for b in blocks] == [1, 2, 3, 4]
+
+    def test_entry_defaults_to_first_block(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        fb.block().ret(0)
+        assert pb.build().function("main").entry == 1
+
+    def test_entry_override(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        b1 = fb.block()
+        b2 = fb.block()
+        b1.ret(0)
+        b2.jump(b1)
+        fb.set_entry(b2)
+        assert pb.build().function("main").entry == 2
+
+
+class TestStatementChaining:
+    def test_chaining_appends_in_order(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        b = fb.block()
+        b.assign("x", 1).store(5, "x").write("x").breakpoint("here").ret("x")
+        block = pb.build().function("main").block(1)
+        assert isinstance(block.statements[0], Assign)
+        assert isinstance(block.statements[1], Store)
+        assert len(block.statements) == 4
+        assert isinstance(block.terminator, Return)
+
+    def test_append_after_terminator_raises(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        b = fb.block()
+        b.ret(0)
+        with pytest.raises(IRError, match="already terminated"):
+            b.assign("x", 1)
+
+    def test_double_terminator_raises(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        b = fb.block()
+        b.ret(0)
+        with pytest.raises(IRError):
+            b.jump(b)
+
+
+class TestTerminatorForms:
+    def test_branch_accepts_block_builders_and_ints(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        b1 = fb.block()
+        b2 = fb.block()
+        b3 = fb.block()
+        b1.branch(binop("<", 1, 2), b2, 3)
+        b2.ret(0)
+        b3.ret(0)
+        term = pb.build().function("main").block(1).terminator
+        assert isinstance(term, CondJump)
+        assert term.targets() == (2, 3)
+
+    def test_switch(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        b1 = fb.block()
+        b2 = fb.block()
+        b3 = fb.block()
+        b1.switch("s", [b2, b3, b2], default=b3)
+        b2.ret(1)
+        b3.ret(2)
+        fb2 = pb.build(verify=False).function("main")
+        term = fb2.block(1).terminator
+        assert isinstance(term, Switch)
+        assert term.cases == (2, 3, 2)
+        assert term.default == 3
+
+    def test_empty_function_rejected(self):
+        pb = ProgramBuilder()
+        pb.function("main")
+        with pytest.raises(IRError, match="no blocks"):
+            pb.build()
+
+
+class TestProgramBuilder:
+    def test_custom_main_name(self):
+        pb = ProgramBuilder(main="start")
+        pb.function("start").block().ret(0)
+        assert pb.build().main == "start"
+
+    def test_call_builder(self):
+        pb = ProgramBuilder()
+        leaf = pb.function("leaf", params=("x",))
+        leaf.block().ret("x")
+        fb = pb.function("main")
+        fb.block().call("leaf", [5], dest="r").ret("r")
+        program = pb.build()
+        call = program.function("main").block(1).calls()[0]
+        assert call.callee == "leaf"
+        assert call.dest == "r"

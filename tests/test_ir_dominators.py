@@ -1,0 +1,93 @@
+"""Unit tests for dominators and postdominators."""
+
+from repro.ir import (
+    ProgramBuilder,
+    VIRTUAL_EXIT,
+    binop,
+    dominates,
+    dominator_tree,
+    function_dominators,
+    function_postdominators,
+    immediate_dominators,
+)
+
+
+class TestImmediateDominators:
+    def test_straight_line(self):
+        succs = {1: [2], 2: [3], 3: []}
+        idom = immediate_dominators(1, succs)
+        assert idom == {1: 1, 2: 1, 3: 2}
+
+    def test_diamond(self):
+        succs = {1: [2, 3], 2: [4], 3: [4], 4: []}
+        idom = immediate_dominators(1, succs)
+        assert idom[4] == 1  # join dominated by the fork, not a branch
+
+    def test_loop(self):
+        succs = {1: [2], 2: [3, 4], 3: [2], 4: []}
+        idom = immediate_dominators(1, succs)
+        assert idom[2] == 1
+        assert idom[3] == 2
+        assert idom[4] == 2
+
+    def test_unreachable_nodes_absent(self):
+        succs = {1: [2], 2: [], 9: [1]}
+        idom = immediate_dominators(1, succs)
+        assert 9 not in idom
+
+    def test_irreducible_graph(self):
+        # Two entries into a cycle: 1 -> {2, 3}, 2 <-> 3, both -> 4.
+        succs = {1: [2, 3], 2: [3, 4], 3: [2, 4], 4: []}
+        idom = immediate_dominators(1, succs)
+        assert idom[2] == 1
+        assert idom[3] == 1
+        assert idom[4] == 1
+
+    def test_dominates_reflexive_and_transitive(self):
+        succs = {1: [2], 2: [3], 3: []}
+        idom = immediate_dominators(1, succs)
+        assert dominates(idom, 1, 3)
+        assert dominates(idom, 3, 3)
+        assert not dominates(idom, 3, 1)
+
+    def test_dominator_tree_inversion(self):
+        succs = {1: [2, 3], 2: [], 3: []}
+        idom = immediate_dominators(1, succs)
+        tree = dominator_tree(idom)
+        assert sorted(tree[1]) == [2, 3]
+        assert tree[2] == []
+
+
+class TestFunctionDominators:
+    def test_diamond_program(self, diamond_program):
+        program, _ = diamond_program
+        idom = function_dominators(program.function("main"))
+        # Head dominates the whole loop body and the exit.
+        assert idom[3] == 2
+        assert idom[4] == 3
+        assert idom[5] == 3
+        assert idom[6] == 3
+        assert idom[7] == 2
+
+    def test_postdominators(self, diamond_program):
+        program, _ = diamond_program
+        ipdom = function_postdominators(program.function("main"))
+        # The latch postdominates both diamond arms.
+        assert ipdom[4] == 6
+        assert ipdom[5] == 6
+        # The exit postdominates the head.
+        assert ipdom[2] == 7
+        assert ipdom[7] == VIRTUAL_EXIT
+
+    def test_multiple_exits(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        b1 = fb.block()
+        b2 = fb.block()
+        b3 = fb.block()
+        b1.branch(binop("<", 1, 2), b2, b3)
+        b2.ret(1)
+        b3.ret(2)
+        ipdom = function_postdominators(pb.build().function("main"))
+        assert ipdom[1] == VIRTUAL_EXIT  # no single-block postdominator
+        assert ipdom[2] == VIRTUAL_EXIT

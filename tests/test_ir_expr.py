@@ -1,0 +1,123 @@
+"""Unit tests for repro.ir.expr."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.expr import (
+    BINARY_OPS,
+    INTRINSICS,
+    UNARY_OPS,
+    BinOp,
+    Const,
+    Intrinsic,
+    UnaryOp,
+    Var,
+    binop,
+    coerce,
+    const,
+    intrinsic,
+    var,
+)
+
+
+class TestConstructors:
+    def test_const(self):
+        assert Const(5).value == 5
+        assert const(-3) == Const(-3)
+
+    def test_var(self):
+        assert Var("x").name == "x"
+        assert var("y") == Var("y")
+
+    def test_binop_coercion(self):
+        e = binop("+", "i", 1)
+        assert e == BinOp("+", Var("i"), Const(1))
+
+    def test_intrinsic_coercion(self):
+        e = intrinsic("f1", "x")
+        assert e == Intrinsic("f1", (Var("x"),))
+
+    def test_coerce_passthrough(self):
+        e = Const(1)
+        assert coerce(e) is e
+
+    def test_coerce_bool_normalizes(self):
+        assert coerce(True) == Const(1)
+
+    def test_coerce_rejects_junk(self):
+        with pytest.raises(TypeError):
+            coerce(3.14)
+
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("**", Const(1), Const(2))
+
+    def test_unknown_unary_rejected(self):
+        with pytest.raises(ValueError):
+            UnaryOp("~", Const(1))
+
+    def test_unknown_intrinsic_rejected(self):
+        with pytest.raises(ValueError):
+            Intrinsic("mystery", (Const(1),))
+
+
+class TestVariables:
+    def test_const_has_no_variables(self):
+        assert Const(7).variables() == frozenset()
+
+    def test_nested_variables(self):
+        e = binop("+", binop("*", "a", "b"), binop("-", "c", 1))
+        assert e.variables() == {"a", "b", "c"}
+
+    def test_unary_variables(self):
+        assert UnaryOp("-", Var("z")).variables() == {"z"}
+
+    def test_intrinsic_variables(self):
+        e = intrinsic("max", "p", "q")
+        assert e.variables() == {"p", "q"}
+
+    def test_children(self):
+        e = binop("+", 1, 2)
+        assert e.children() == (Const(1), Const(2))
+        assert Const(1).children() == ()
+
+
+class TestSemantics:
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_comparisons_return_zero_or_one(self, a, b):
+        for op in ("<", "<=", ">", ">=", "==", "!="):
+            assert BINARY_OPS[op](a, b) in (0, 1)
+
+    def test_division_is_floor(self):
+        assert BINARY_OPS["//"](-7, 2) == -4
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            BINARY_OPS["//"](1, 0)
+        with pytest.raises(ZeroDivisionError):
+            BINARY_OPS["%"](1, 0)
+
+    def test_not_operator(self):
+        assert UNARY_OPS["!"](0) == 1
+        assert UNARY_OPS["!"](42) == 0
+
+    def test_intrinsics_are_deterministic_ints(self):
+        assert INTRINSICS["f1"](3) == 7
+        assert INTRINSICS["f2"](3) == 8
+        assert INTRINSICS["f3"](3) == 12
+        assert INTRINSICS["lcg"](1) == (1103515245 + 12345) % 2**31
+
+    def test_str_round_readability(self):
+        e = binop("+", binop("*", "x", 3), 1)
+        assert str(e) == "((x * 3) + 1)"
+
+
+class TestHashability:
+    def test_structural_equality(self):
+        assert binop("+", "a", 1) == binop("+", "a", 1)
+        assert hash(binop("+", "a", 1)) == hash(binop("+", "a", 1))
+
+    def test_expressions_usable_in_sets(self):
+        s = {binop("+", "a", 1), binop("+", "a", 1), binop("+", "a", 2)}
+        assert len(s) == 2

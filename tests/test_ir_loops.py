@@ -1,0 +1,129 @@
+"""Unit tests for natural loop detection."""
+
+import pytest
+
+from repro.ir import (
+    ProgramBuilder,
+    back_edges,
+    binop,
+    is_reducible,
+    loop_nest_depth,
+    natural_loops,
+)
+from repro.workloads import figure9_program, figure10_program, workload
+
+
+class TestBackEdges:
+    def test_simple_loop(self, diamond_program):
+        program, _ = diamond_program
+        assert back_edges(program.function("main")) == [(6, 2)]
+
+    def test_straight_line_has_none(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        b1 = fb.block()
+        b2 = fb.block()
+        b1.jump(b2)
+        b2.ret(0)
+        assert back_edges(pb.build().function("main")) == []
+
+    def test_figure10(self):
+        func = figure10_program().function("main")
+        assert back_edges(func) == [(12, 4)]
+
+    def test_self_loop(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        b1 = fb.block()
+        b2 = fb.block()
+        b1.branch(binop("<", 1, 2), b1, b2)
+        b2.ret(0)
+        assert back_edges(pb.build().function("main")) == [(1, 1)]
+
+
+class TestNaturalLoops:
+    def test_diamond_loop_body(self, diamond_program):
+        program, _ = diamond_program
+        (loop,) = natural_loops(program.function("main"))
+        assert loop.header == 2
+        assert loop.body == frozenset({2, 3, 4, 5, 6})
+        assert 1 not in loop and 7 not in loop
+
+    def test_figure9_loop(self):
+        func = figure9_program().function("main")
+        (loop,) = natural_loops(func)
+        assert loop.header == 1
+        assert loop.body == frozenset({1, 2, 3, 4, 5, 6, 7, 8})
+
+    def test_nested_loops(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        b1 = fb.block()  # entry
+        b2 = fb.block()  # outer header
+        b3 = fb.block()  # inner header
+        b4 = fb.block()  # inner latch
+        b5 = fb.block()  # outer latch
+        b6 = fb.block()  # exit
+        b1.assign("i", 0).jump(b2)
+        b2.branch(binop("<", "i", 3), b3, b6)
+        b3.branch(binop("<", "i", 99), b4, b5)
+        b4.assign("i", binop("+", "i", 1)).branch(
+            binop("==", binop("%", "i", 2), 0), b3, b5
+        )
+        b5.assign("i", binop("+", "i", 1)).jump(b2)
+        b6.ret(0)
+        func = pb.build().function("main")
+        loops = natural_loops(func)
+        assert [l.header for l in loops] == [2, 3]
+        depth = loop_nest_depth(func)
+        assert depth[1] == 0 and depth[6] == 0
+        assert depth[2] == 1 and depth[5] == 1
+        assert depth[3] == 2 and depth[4] == 2
+
+    def test_merged_back_edges(self):
+        """Two back edges to one header form a single loop."""
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        b1 = fb.block()
+        b2 = fb.block()
+        b3 = fb.block()
+        b4 = fb.block()
+        b1.jump(b2)
+        b2.branch(binop("<", 1, 2), b3, b4)
+        b3.branch(binop("<", 1, 2), b2, b4)
+        b4.branch(binop("<", 1, 2), b2, 5)
+        b5 = fb.block()
+        b5.ret(0)
+        func = pb.build().function("main")
+        loops = natural_loops(func)
+        assert len(loops) == 1
+        assert loops[0].back_edges == ((3, 2), (4, 2))
+
+
+class TestReducibility:
+    def test_structured_programs_reducible(self, diamond_program):
+        program, _ = diamond_program
+        assert is_reducible(program.function("main"))
+
+    def test_generated_workloads_reducible(self):
+        program, _spec = workload("li-like", scale=0.05)
+        for func in program:
+            assert is_reducible(func), func.name
+
+    def test_irreducible_detected(self):
+        # Two-entry cycle: 1 -> {2, 3}, 2 <-> 3.
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        b1 = fb.block()
+        b2 = fb.block()
+        b3 = fb.block()
+        b4 = fb.block()
+        b1.branch(binop("<", 1, 2), b2, b3)
+        b2.branch(binop("<", 1, 2), b3, b4)
+        b3.branch(binop("<", 1, 2), b2, b4)
+        b4.ret(0)
+        func = pb.build().function("main")
+        assert not is_reducible(func)
+        # The cycle's edges are not back edges (neither node dominates
+        # the other), so natural-loop analysis reports none.
+        assert natural_loops(func) == []

@@ -1,0 +1,88 @@
+"""Unit tests for repro.ir.stmt: defs/uses and terminator targets."""
+
+import pytest
+
+from repro.ir.expr import binop, const, var
+from repro.ir.stmt import (
+    Assign,
+    Breakpoint,
+    Call,
+    CondJump,
+    Jump,
+    Load,
+    Read,
+    Return,
+    Store,
+    Switch,
+    Write,
+)
+
+
+class TestDefsUses:
+    def test_assign(self):
+        s = Assign("x", binop("+", "y", "z"))
+        assert s.defs() == {"x"}
+        assert s.uses() == {"y", "z"}
+
+    def test_read_defines_only(self):
+        s = Read("n")
+        assert s.defs() == {"n"}
+        assert s.uses() == frozenset()
+
+    def test_load(self):
+        s = Load("r", binop("+", "base", 4))
+        assert s.defs() == {"r"}
+        assert s.uses() == {"base"}
+
+    def test_store_defines_nothing(self):
+        s = Store(var("a"), var("v"))
+        assert s.defs() == frozenset()
+        assert s.uses() == {"a", "v"}
+
+    def test_call_with_dest(self):
+        s = Call("f", (var("a"), binop("*", "b", 2)), dest="r")
+        assert s.defs() == {"r"}
+        assert s.uses() == {"a", "b"}
+
+    def test_call_without_dest(self):
+        s = Call("f", (const(1),))
+        assert s.defs() == frozenset()
+        assert s.uses() == frozenset()
+
+    def test_write_uses(self):
+        assert Write(var("out")).uses() == {"out"}
+
+    def test_breakpoint_is_inert(self):
+        s = Breakpoint("here")
+        assert s.defs() == frozenset()
+        assert s.uses() == frozenset()
+
+
+class TestTerminators:
+    def test_jump_targets(self):
+        assert Jump(7).targets() == (7,)
+        assert Jump(7).uses() == frozenset()
+
+    def test_condjump(self):
+        t = CondJump(binop("<", "i", 10), 2, 3)
+        assert t.targets() == (2, 3)
+        assert t.uses() == {"i"}
+
+    def test_switch_dedups_targets_preserving_order(self):
+        t = Switch(var("s"), (4, 5, 4, 6, 5), default=7)
+        assert t.targets() == (4, 5, 6, 7)
+        assert t.uses() == {"s"}
+
+    def test_switch_default_only(self):
+        t = Switch(const(0), (), default=9)
+        assert t.targets() == (9,)
+
+    def test_return_value(self):
+        assert Return(var("r")).targets() == ()
+        assert Return(var("r")).uses() == {"r"}
+        assert Return().uses() == frozenset()
+
+    def test_str_forms(self):
+        assert "jump B3" in str(Jump(3))
+        assert "return" == str(Return())
+        assert "breakpoint bp" == str(Breakpoint())

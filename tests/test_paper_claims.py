@@ -1,0 +1,136 @@
+"""The paper's headline claims, asserted end to end.
+
+Each test names the claim from the paper it checks.  Absolute numbers
+come from our scaled synthetic workloads; the assertions encode the
+claim's *shape* (direction, rough magnitude, ordering) as recorded in
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bench import build_artifacts
+from repro.compact import extract_function_traces
+from repro.trace import scan_function_traces
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    out = tmp_path_factory.mktemp("claims")
+    # Full-scale traces: the compaction factors are trace-length
+    # dependent, and the paper's claims are about full runs.
+    return {
+        name: build_artifacts(name, scale=1.0, out_dir=out)
+        for name in ("go-like", "ijpeg-like", "perl-like")
+    }
+
+
+class TestCompactionClaims:
+    def test_wpps_compact_by_large_factors(self, artifacts):
+        """Abstract: 'our algorithm compacts the WPPs by factors
+        ranging from 7 to 64'."""
+        factors = {
+            name: art.stats.overall_factor for name, art in artifacts.items()
+        }
+        assert all(f > 3 for f in factors.values()), factors
+        assert max(factors.values()) > 20
+
+    def test_redundant_trace_removal_dominates(self, artifacts):
+        """Section 1: dedup 'resulted in reductions ... by factors
+        ranging from 5.66 to 9.5' and is the biggest single stage."""
+        for name, art in artifacts.items():
+            s = art.stats
+            assert s.dedup_factor > 3, name
+            assert s.dedup_factor > s.dictionary_factor, name
+            assert s.dedup_factor > max(s.twpp_factor, 1.0), name
+
+    def test_dictionary_stage_contributes(self, artifacts):
+        """Section 1: DBB dictionaries reduce 'by factors ranging from
+        1.35 to 4.24'."""
+        for name, art in artifacts.items():
+            assert 1.0 < art.stats.dictionary_factor < 10, name
+
+    def test_go_is_twpp_break_even_case(self, artifacts):
+        """Section 3: 'The only case in which compacted TWPP trace is
+        slightly larger is the 099.go program'."""
+        go = artifacts["go-like"].stats.twpp_factor
+        ijpeg = artifacts["ijpeg-like"].stats.twpp_factor
+        perl = artifacts["perl-like"].stats.twpp_factor
+        assert go < ijpeg and go < perl
+        assert 0.7 < go < 1.3  # at or near break-even
+        assert ijpeg > 2 and perl > 2
+
+    def test_few_unique_traces_despite_many_calls(self, artifacts):
+        """Section 1: 'function _rtx_equal_p was called 355189 times
+        but it generated only 35 unique path traces' -- hot functions
+        have orders of magnitude fewer unique traces than calls."""
+        for name, art in artifacts.items():
+            calls = art.partitioned.call_counts()
+            uniq = art.partitioned.unique_trace_counts()
+            hottest = max(calls, key=lambda n: calls[n])
+            assert calls[hottest] > 20 * uniq[hottest], (
+                name,
+                hottest,
+                calls[hottest],
+                uniq[hottest],
+            )
+
+
+class TestAccessClaims:
+    def test_indexed_extraction_beats_scan_everywhere(self, artifacts):
+        """Abstract: per-function queries speed up by orders of
+        magnitude; at minimum, the compacted path must win on every
+        workload and function sampled."""
+        import time
+
+        for name, art in artifacts.items():
+            for func in art.traced_function_names()[:3]:
+                t0 = time.perf_counter()
+                scan_function_traces(art.wpp_path, func)
+                u = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                extract_function_traces(art.twpp_path, func)
+                c = time.perf_counter() - t0
+                assert c < u, (name, func, u, c)
+
+    def test_extraction_reads_one_section_only(self, artifacts):
+        """The compacted query touches header + one section, so its
+        cost must not scale with which function is requested."""
+        art = artifacts["perl-like"]
+        sizes = []
+        from repro.compact.format import read_header
+
+        with open(art.twpp_path, "rb") as fh:
+            header = read_header(fh)
+        total = art.twpp_path.stat().st_size
+        for entry in header.entries:
+            assert entry.length < total
+            sizes.append(entry.length)
+        assert sum(sizes) < total  # header + DCG live outside sections
+
+    def test_compacted_file_much_smaller_than_raw(self, artifacts):
+        """Table 3 consequence: the .twpp file is a small fraction of
+        the raw .wpp file."""
+        for name, art in artifacts.items():
+            assert art.twpp_bytes * 2 < art.wpp_bytes, name
+
+
+class TestRepresentationClaims:
+    def test_sequitur_tradeoff(self, artifacts):
+        """Table 5: the two representations 'embody design decisions
+        with different space time trade-offs' -- Sequitur is compact,
+        TWPP is fast.  Both must beat the raw trace on size."""
+        for name, art in artifacts.items():
+            assert art.sqwp_bytes < art.wpp_bytes, name
+            assert art.twpp_bytes < art.wpp_bytes, name
+
+    def test_timestamp_vectors_compact(self, artifacts):
+        """Table 6: compacted timestamp vectors are significantly
+        smaller than uncompacted ones on loop-regular workloads."""
+        from repro.analysis import flowgraph_stats
+
+        art = artifacts["ijpeg-like"]
+        name = art.traced_function_names()[0]
+        func = art.program.function(name)
+        traces = art.partitioned.traces[art.partitioned.func_index(name)]
+        stats = flowgraph_stats(func, traces)
+        assert stats.avg_vector_slots * 2 < stats.avg_vector_raw

@@ -1,0 +1,74 @@
+"""Public API surface checks.
+
+Guards against accidental export breakage: everything documented in the
+README's import examples must exist, and every ``__all__`` name must
+resolve.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.ir",
+    "repro.interp",
+    "repro.trace",
+    "repro.compact",
+    "repro.sequitur",
+    "repro.analysis",
+    "repro.workloads",
+    "repro.bench",
+    "repro.util",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_names_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_sorted_and_unique(self, name):
+        module = importlib.import_module(name)
+        exported = getattr(module, "__all__", [])
+        assert len(set(exported)) == len(exported), f"{name} duplicates"
+
+    def test_readme_imports(self):
+        from repro.compact import (  # noqa: F401
+            compact_wpp,
+            extract_function_traces,
+            write_twpp,
+        )
+        from repro.ir import ProgramBuilder, binop  # noqa: F401
+        from repro.trace import collect_wpp, partition_wpp  # noqa: F401
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+
+class TestModuleDocstrings:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_packages_documented(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+    def test_every_submodule_documented(self):
+        import pathlib
+
+        import repro
+
+        root = pathlib.Path(repro.__file__).parent
+        for path in root.rglob("*.py"):
+            rel = path.relative_to(root.parent)
+            mod_name = str(rel.with_suffix("")).replace("/", ".")
+            if mod_name.endswith(".__init__"):
+                mod_name = mod_name[: -len(".__init__")]
+            if mod_name.endswith("__main__"):
+                continue
+            module = importlib.import_module(mod_name)
+            assert module.__doc__, f"{mod_name} lacks a module docstring"

@@ -1,0 +1,99 @@
+"""Unit + property tests for the Sequitur inference algorithm."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequitur import (
+    SequiturBuilder,
+    build_grammar,
+    verify_grammar_invariants,
+)
+
+
+def seq(text: str):
+    return [ord(c) for c in text]
+
+
+class TestKnownInputs:
+    def test_classic_example(self):
+        """The canonical abcdbcabcd: rules for bc and a_d emerge."""
+        g = build_grammar(seq("abcdbcabcd"))
+        assert g.expand() == seq("abcdbcabcd")
+        verify_grammar_invariants(g)
+        assert g.rule_count() == 3
+        assert g.total_symbols() == 8
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a",
+            "ab",
+            "aaa",
+            "aaaa",
+            "aaaaaa",
+            "abab",
+            "abababab",
+            "abcabcabcabc",
+            "mississippi",
+            "abbbabcbb",
+            "aabaaab",
+            "xxyxxyxxzxxyxxyxxz",
+            "yzxyzwxyzxyzw",
+        ],
+    )
+    def test_roundtrip_and_invariants(self, text):
+        g = build_grammar(seq(text))
+        assert g.expand() == seq(text)
+        verify_grammar_invariants(g)
+
+    def test_repetition_compresses_logarithmically(self):
+        g = build_grammar(seq("ab" * 1024))
+        # Sequitur represents x^(2^k) with O(k) rules.
+        assert g.total_symbols() < 40
+
+    def test_incremental_builder(self):
+        b = SequiturBuilder()
+        for t in seq("abcabc"):
+            b.append(t)
+        g = b.freeze()
+        assert g.expand() == seq("abcabc")
+
+    def test_rejects_negative_terminals(self):
+        b = SequiturBuilder()
+        with pytest.raises(ValueError):
+            b.append(-1)
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 4), min_size=0, max_size=300))
+    @settings(max_examples=250, deadline=None)
+    def test_roundtrip(self, terminals):
+        if not terminals:
+            return
+        g = build_grammar(terminals)
+        assert g.expand() == terminals
+
+    @given(st.lists(st.integers(0, 2), min_size=2, max_size=200))
+    @settings(max_examples=150, deadline=None)
+    def test_invariants_hold(self, terminals):
+        g = build_grammar(terminals)
+        verify_grammar_invariants(g)
+
+    @given(
+        st.lists(st.integers(0, 3), min_size=1, max_size=12),
+        st.integers(2, 40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_periodic_inputs_compress(self, chunk, repeats):
+        terminals = chunk * repeats
+        g = build_grammar(terminals)
+        assert g.expand() == terminals
+        # The grammar must be asymptotically smaller than the input.
+        assert g.total_symbols() <= len(terminals)
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_large_alphabet(self, terminals):
+        g = build_grammar(terminals)
+        assert g.expand() == terminals

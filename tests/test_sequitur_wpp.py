@@ -1,0 +1,77 @@
+"""Unit tests for the Sequitur-compressed WPP baseline."""
+
+import pytest
+
+from repro.sequitur import (
+    compress_wpp,
+    decompress_wpp,
+    extract_function_traces_sequitur,
+    process_step,
+    read_step,
+    write_compressed_wpp,
+)
+from repro.trace import collect_wpp, partition_wpp, write_wpp, scan_function_traces
+
+
+class TestCompression:
+    def test_lossless(self, caller_program, tmp_path):
+        wpp = collect_wpp(caller_program)
+        path = tmp_path / "t.sqwp"
+        write_compressed_wpp(wpp, path)
+        back = decompress_wpp(path)
+        assert back.func_names == wpp.func_names
+        assert list(back.events) == list(wpp.events)
+
+    def test_compresses_repetitive_trace(self, caller_program, tmp_path):
+        wpp = collect_wpp(caller_program)
+        sq_path = tmp_path / "t.sqwp"
+        raw_path = tmp_path / "t.wpp"
+        sq_size = write_compressed_wpp(wpp, sq_path)
+        raw_size = write_wpp(wpp, raw_path)
+        assert sq_size < raw_size
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.sqwp"
+        path.write_bytes(b"NOPE")
+        with pytest.raises(ValueError, match="not a Sequitur"):
+            read_step(path)
+
+
+class TestExtraction:
+    def test_matches_linear_scan(self, caller_program, tmp_path):
+        """The baseline and the uncompacted scan return identical traces."""
+        wpp = collect_wpp(caller_program)
+        sq_path = tmp_path / "t.sqwp"
+        raw_path = tmp_path / "t.wpp"
+        write_compressed_wpp(wpp, sq_path)
+        write_wpp(wpp, raw_path)
+        for name in ("main", "leaf"):
+            assert extract_function_traces_sequitur(
+                sq_path, name
+            ) == scan_function_traces(raw_path, name)
+
+    def test_unknown_function_empty(self, caller_program, tmp_path):
+        wpp = collect_wpp(caller_program)
+        path = tmp_path / "t.sqwp"
+        write_compressed_wpp(wpp, path)
+        assert extract_function_traces_sequitur(path, "ghost") == []
+
+    def test_read_process_split(self, caller_program, tmp_path):
+        wpp = collect_wpp(caller_program)
+        path = tmp_path / "t.sqwp"
+        write_compressed_wpp(wpp, path)
+        names, grammar = read_step(path)
+        assert names == wpp.func_names
+        traces = process_step(names, grammar, "leaf")
+        assert len(traces) == 7
+
+    def test_workload_extraction_counts(self, small_workload, tmp_path):
+        program, _spec, wpp = small_workload
+        part = partition_wpp(wpp)
+        path = tmp_path / "w.sqwp"
+        write_compressed_wpp(wpp, path)
+        hot = max(part.call_counts(), key=lambda n: part.call_counts()[n])
+        traces = extract_function_traces_sequitur(path, hot)
+        assert len(traces) == part.call_counts()[hot]
+        idx = part.func_index(hot)
+        assert set(traces) == set(part.traces[idx])

@@ -1,0 +1,125 @@
+"""Unit + property tests for the varint/zigzag codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trace.encoding import (
+    read_string,
+    read_svarint,
+    read_svarint_list,
+    read_uvarint,
+    read_uvarint_list,
+    svarint_size,
+    uvarint_size,
+    write_string,
+    write_svarint,
+    write_svarint_list,
+    write_uvarint,
+    write_uvarint_list,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestUvarint:
+    @given(st.integers(0, 2**63 - 1))
+    def test_roundtrip(self, value):
+        buf = bytearray()
+        write_uvarint(buf, value)
+        decoded, offset = read_uvarint(buf, 0)
+        assert decoded == value
+        assert offset == len(buf)
+
+    def test_known_encodings(self):
+        buf = bytearray()
+        write_uvarint(buf, 0)
+        assert bytes(buf) == b"\x00"
+        buf = bytearray()
+        write_uvarint(buf, 127)
+        assert bytes(buf) == b"\x7f"
+        buf = bytearray()
+        write_uvarint(buf, 128)
+        assert bytes(buf) == b"\x80\x01"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            write_uvarint(bytearray(), -1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError, match="truncated"):
+            read_uvarint(b"\x80", 0)
+
+    def test_overlong_raises(self):
+        with pytest.raises(ValueError, match="too long"):
+            read_uvarint(b"\x80" * 10 + b"\x01", 0)
+
+    @given(st.integers(0, 2**40))
+    def test_size_matches_encoding(self, value):
+        buf = bytearray()
+        write_uvarint(buf, value)
+        assert uvarint_size(value) == len(buf)
+
+
+class TestZigzag:
+    @given(st.integers(-(2**40), 2**40))
+    def test_roundtrip(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value
+
+    def test_small_values_interleave(self):
+        assert [zigzag_encode(v) for v in (0, -1, 1, -2, 2)] == [0, 1, 2, 3, 4]
+
+    @given(st.integers(-(2**40), 2**40))
+    def test_svarint_roundtrip(self, value):
+        buf = bytearray()
+        write_svarint(buf, value)
+        decoded, offset = read_svarint(buf, 0)
+        assert decoded == value and offset == len(buf)
+
+    @given(st.integers(-(2**30), 2**30))
+    def test_svarint_size(self, value):
+        buf = bytearray()
+        write_svarint(buf, value)
+        assert svarint_size(value) == len(buf)
+
+
+class TestLists:
+    @given(st.lists(st.integers(0, 10**9)))
+    def test_uvarint_list_roundtrip(self, values):
+        buf = bytearray()
+        write_uvarint_list(buf, values)
+        decoded, offset = read_uvarint_list(buf, 0)
+        assert decoded == values and offset == len(buf)
+
+    @given(st.lists(st.integers(-(10**9), 10**9)))
+    def test_svarint_list_roundtrip(self, values):
+        buf = bytearray()
+        write_svarint_list(buf, values)
+        decoded, offset = read_svarint_list(buf, 0)
+        assert decoded == values and offset == len(buf)
+
+    def test_sequential_decoding(self):
+        buf = bytearray()
+        write_uvarint(buf, 1)
+        write_svarint(buf, -5)
+        write_uvarint(buf, 300)
+        a, off = read_uvarint(buf, 0)
+        b, off = read_svarint(buf, off)
+        c, off = read_uvarint(buf, off)
+        assert (a, b, c) == (1, -5, 300)
+        assert off == len(buf)
+
+
+class TestStrings:
+    @given(st.text(max_size=200))
+    def test_roundtrip(self, text):
+        buf = bytearray()
+        write_string(buf, text)
+        decoded, offset = read_string(buf, 0)
+        assert decoded == text and offset == len(buf)
+
+    def test_truncated_string(self):
+        buf = bytearray()
+        write_string(buf, "hello")
+        with pytest.raises(ValueError, match="truncated"):
+            read_string(buf[:-2], 0)

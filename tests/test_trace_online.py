@@ -1,0 +1,85 @@
+"""Unit tests for online (streaming) partitioning."""
+
+import pytest
+
+from repro.interp import run_program
+from repro.trace import (
+    OnlinePartitioner,
+    collect_partitioned,
+    collect_wpp,
+    partition_wpp,
+    reconstruct_wpp,
+)
+from repro.workloads import figure1_program, workload
+
+
+def assert_partitions_equal(a, b):
+    assert a.func_names == b.func_names
+    assert a.traces == b.traces
+    assert list(a.dcg.node_func) == list(b.dcg.node_func)
+    assert list(a.dcg.node_trace) == list(b.dcg.node_trace)
+    assert list(a.dcg.node_parent) == list(b.dcg.node_parent)
+
+
+class TestEquivalence:
+    def test_matches_offline_partitioning(self, caller_program):
+        online = collect_partitioned(caller_program)
+        offline = partition_wpp(collect_wpp(caller_program))
+        assert_partitions_equal(online, offline)
+
+    def test_figure1(self):
+        program = figure1_program()
+        online = collect_partitioned(program)
+        offline = partition_wpp(collect_wpp(program))
+        assert_partitions_equal(online, offline)
+
+    def test_generated_workload(self):
+        program, _spec = workload("gcc-like", scale=0.1)
+        online = collect_partitioned(program)
+        offline = partition_wpp(collect_wpp(program))
+        assert_partitions_equal(online, offline)
+
+    def test_reconstruction_from_online(self, caller_program):
+        online = collect_partitioned(caller_program)
+        wpp = collect_wpp(caller_program)
+        back = reconstruct_wpp(online, caller_program)
+        assert back.to_tuples() == wpp.to_tuples()
+
+
+class TestStreamingProperties:
+    def test_event_count_matches_raw_wpp(self, caller_program):
+        tracer = OnlinePartitioner()
+        run_program(caller_program, tracer=tracer)
+        assert tracer.events_seen == len(collect_wpp(caller_program))
+        assert tracer.open_activations == 0
+
+    def test_finish_rejects_open_activations(self):
+        tracer = OnlinePartitioner()
+        tracer.enter("f")
+        tracer.block(1)
+        assert tracer.open_activations == 1
+        with pytest.raises(ValueError, match="still open"):
+            tracer.finish()
+
+    def test_event_protocol_errors(self):
+        tracer = OnlinePartitioner()
+        with pytest.raises(ValueError, match="outside"):
+            tracer.block(1)
+        with pytest.raises(ValueError, match="unbalanced"):
+            tracer.leave()
+
+    def test_interning_keeps_memory_compact(self):
+        """1000 identical activations store one trace, 1000 DCG nodes."""
+        tracer = OnlinePartitioner()
+        tracer.enter("main")
+        tracer.block(1)
+        for _ in range(1000):
+            tracer.enter("f")
+            tracer.block(1)
+            tracer.block(2)
+            tracer.leave()
+        tracer.leave()
+        part = tracer.finish()
+        assert part.unique_trace_counts()["f"] == 1
+        assert part.call_counts()["f"] == 1000
+        assert len(part.dcg) == 1001

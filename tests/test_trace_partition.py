@@ -1,0 +1,130 @@
+"""Unit tests for WPP partitioning (path traces + DCG)."""
+
+import pytest
+
+from repro.trace import (
+    DynamicCallGraph,
+    collect_wpp,
+    partition_wpp,
+    trace_from_tuples,
+)
+
+
+class TestPartition:
+    def test_single_activation(self):
+        wpp = trace_from_tuples(
+            [("enter", "main"), ("block", 1), ("block", 2), ("leave",)]
+        )
+        part = partition_wpp(wpp)
+        assert part.unique_traces("main") == [(1, 2)]
+        assert len(part.dcg) == 1
+        assert part.dcg.node_parent[0] == -1
+
+    def test_dedup_on_the_fly(self, caller_program):
+        part = partition_wpp(collect_wpp(caller_program))
+        assert part.call_counts() == {"main": 1, "leaf": 7}
+        assert part.unique_trace_counts() == {"main": 1, "leaf": 2}
+        # 7 activations reference only 2 stored traces.
+        leaf_idx = part.func_index("leaf")
+        refs = [
+            part.dcg.node_trace[n]
+            for n in range(len(part.dcg))
+            if part.dcg.node_func[n] == leaf_idx
+        ]
+        assert len(refs) == 7
+        assert set(refs) == {0, 1}
+
+    def test_parents_recorded(self, caller_program):
+        part = partition_wpp(collect_wpp(caller_program))
+        main_idx = part.func_index("main")
+        for node in range(len(part.dcg)):
+            if part.dcg.node_func[node] == main_idx:
+                assert part.dcg.node_parent[node] == -1
+            else:
+                assert part.dcg.node_parent[node] == 0
+
+    def test_nested_calls(self):
+        wpp = trace_from_tuples(
+            [
+                ("enter", "a"),
+                ("block", 1),
+                ("enter", "b"),
+                ("block", 1),
+                ("enter", "c"),
+                ("block", 9),
+                ("leave",),
+                ("block", 2),
+                ("leave",),
+                ("block", 2),
+                ("leave",),
+            ]
+        )
+        part = partition_wpp(wpp)
+        assert part.unique_traces("a") == [(1, 2)]
+        assert part.unique_traces("b") == [(1, 2)]
+        assert part.unique_traces("c") == [(9,)]
+        assert list(part.dcg.node_parent) == [-1, 0, 1]
+
+    def test_unbalanced_raises(self):
+        wpp = trace_from_tuples([("enter", "a"), ("block", 1)])
+        with pytest.raises(ValueError, match="never closed"):
+            partition_wpp(wpp)
+
+    def test_unknown_lookup_raises(self, caller_program):
+        part = partition_wpp(collect_wpp(caller_program))
+        with pytest.raises(KeyError):
+            part.func_index("ghost")
+
+
+class TestSizeAccounting:
+    def test_redundant_bytes_exceed_deduped(self, caller_program):
+        part = partition_wpp(collect_wpp(caller_program))
+        assert part.trace_bytes_with_redundancy() > part.trace_bytes_deduped()
+
+    def test_redundant_bytes_formula(self):
+        # Two identical activations: pre-dedup counts the trace twice.
+        wpp = trace_from_tuples(
+            [
+                ("enter", "m"),
+                ("block", 1),
+                ("enter", "f"),
+                ("block", 1),
+                ("leave",),
+                ("enter", "f"),
+                ("block", 1),
+                ("leave",),
+                ("leave",),
+            ]
+        )
+        part = partition_wpp(wpp)
+        # f's trace (1,) costs 2 bytes serialized (len + id).
+        assert part.trace_bytes_deduped() == 2 + 2  # one f copy + main
+        assert part.trace_bytes_with_redundancy() == 2 + 2 + 2
+
+    def test_dcg_bytes_positive(self, small_partitioned):
+        assert small_partitioned.dcg_bytes() > 0
+
+
+class TestDcgSerialization:
+    def test_roundtrip(self, small_partitioned):
+        data = small_partitioned.dcg.serialize()
+        back = DynamicCallGraph.deserialize(data)
+        assert list(back.node_func) == list(small_partitioned.dcg.node_func)
+        assert list(back.node_trace) == list(small_partitioned.dcg.node_trace)
+
+    def test_trailing_bytes_rejected(self, small_partitioned):
+        data = small_partitioned.dcg.serialize() + b"\x00"
+        with pytest.raises(ValueError, match="trailing"):
+            DynamicCallGraph.deserialize(data)
+
+    def test_children_lists(self, caller_program):
+        part = partition_wpp(collect_wpp(caller_program))
+        children = part.dcg.children_lists()
+        assert len(children[0]) == 7  # main's children in call order
+        assert children[0] == sorted(children[0])
+
+    def test_calls_per_function(self, caller_program):
+        part = partition_wpp(collect_wpp(caller_program))
+        counts = part.dcg.calls_per_function(len(part.func_names))
+        assert counts[part.func_index("main")] == 1
+        assert counts[part.func_index("leaf")] == 7

@@ -1,0 +1,74 @@
+"""Losslessness tests: partition -> reconstruct must be the identity."""
+
+from repro.trace import (
+    collect_wpp,
+    partition_wpp,
+    rebuild_parents,
+    reconstruct_wpp,
+    trace_call_count,
+    block_call_counts,
+)
+from repro.workloads import figure1_program, workload
+
+
+class TestRoundTrip:
+    def test_caller_program(self, caller_program):
+        wpp = collect_wpp(caller_program)
+        part = partition_wpp(wpp)
+        back = reconstruct_wpp(part, caller_program)
+        assert back.to_tuples() == wpp.to_tuples()
+
+    def test_figure1(self):
+        program = figure1_program()
+        wpp = collect_wpp(program)
+        part = partition_wpp(wpp)
+        back = reconstruct_wpp(part, program)
+        assert back.to_tuples() == wpp.to_tuples()
+
+    def test_all_generated_workloads_small(self):
+        for name in ("go-like", "li-like", "perl-like"):
+            program, _spec = workload(name, scale=0.1)
+            wpp = collect_wpp(program)
+            part = partition_wpp(wpp)
+            back = reconstruct_wpp(part, program)
+            assert list(back.events) == list(wpp.events), name
+
+    def test_empty_dcg(self, caller_program):
+        from repro.trace.partition import PartitionedWpp
+        from repro.trace.dcg import DynamicCallGraph
+
+        empty = PartitionedWpp(func_names=[], dcg=DynamicCallGraph(), traces=[])
+        assert len(reconstruct_wpp(empty, caller_program)) == 0
+
+
+class TestCallCounts:
+    def test_block_call_counts(self, caller_program):
+        counts = block_call_counts(caller_program)
+        assert counts["main"] == {1: 0, 2: 0, 3: 1, 4: 0}
+        assert all(v == 0 for v in counts["leaf"].values())
+
+    def test_trace_call_count(self, caller_program):
+        counts = block_call_counts(caller_program)["main"]
+        trace = (1, 2, 3, 2, 3, 2, 4)
+        assert trace_call_count(trace, counts) == 2
+
+
+class TestRebuildParents:
+    def test_parents_match_original(self, small_workload, small_partitioned):
+        program, _spec, _wpp = small_workload
+        part = small_partitioned
+        original = list(part.dcg.node_parent)
+        # Simulate a disk load: wipe parents, rebuild from structure.
+        from array import array
+
+        part.dcg.node_parent = array("q", [-2] * len(part.dcg))
+        rebuild_parents(part.dcg, part.traces, part.func_names, program)
+        assert list(part.dcg.node_parent) == original
+
+    def test_single_node(self, caller_program):
+        from repro.trace import trace_from_tuples
+
+        wpp = trace_from_tuples([("enter", "main"), ("block", 1), ("leave",)])
+        part = partition_wpp(wpp)
+        rebuild_parents(part.dcg, part.traces, part.func_names, caller_program)
+        assert list(part.dcg.node_parent) == [-1]

@@ -1,0 +1,115 @@
+"""Unit tests for the WPP event model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trace import (
+    BLOCK,
+    ENTER,
+    LEAVE,
+    WppBuilder,
+    collect_wpp,
+    pack_event,
+    trace_from_tuples,
+    unpack_event,
+)
+
+
+class TestPacking:
+    @given(st.sampled_from([ENTER, BLOCK, LEAVE]), st.integers(0, 2**40))
+    def test_roundtrip(self, kind, arg):
+        assert unpack_event(pack_event(kind, arg)) == (kind, arg)
+
+    def test_leave_is_constant(self):
+        assert pack_event(LEAVE) == LEAVE
+
+
+class TestBuilder:
+    def test_function_interning(self):
+        b = WppBuilder()
+        b.enter("f")
+        b.leave()
+        b.enter("g")
+        b.leave()
+        b.enter("f")
+        b.leave()
+        trace = b.finish()
+        assert trace.func_names == ["f", "g"]
+        assert trace.func_index("g") == 1
+        with pytest.raises(KeyError):
+            trace.func_index("ghost")
+
+    def test_to_tuples(self):
+        trace = trace_from_tuples(
+            [("enter", "main"), ("block", 1), ("block", 2), ("leave",)]
+        )
+        assert trace.to_tuples() == [
+            ("enter", "main"),
+            ("block", 1),
+            ("block", 2),
+            ("leave",),
+        ]
+
+    def test_call_counts(self, caller_program):
+        wpp = collect_wpp(caller_program)
+        assert wpp.call_counts() == {"main": 1, "leaf": 7}
+
+    def test_len_counts_events(self):
+        trace = trace_from_tuples([("enter", "m"), ("block", 1), ("leave",)])
+        assert len(trace) == 3
+
+
+class TestValidation:
+    def test_valid_trace(self, caller_program):
+        collect_wpp(caller_program).validate()
+
+    def test_unbalanced_leave(self):
+        trace = trace_from_tuples([("enter", "m"), ("leave",), ("leave",)])
+        with pytest.raises(ValueError, match="unbalanced"):
+            trace.validate()
+
+    def test_unclosed_activation(self):
+        trace = trace_from_tuples([("enter", "m"), ("block", 1)])
+        with pytest.raises(ValueError, match="never closed"):
+            trace.validate()
+
+    def test_block_outside_activation(self):
+        trace = trace_from_tuples([("block", 1)])
+        with pytest.raises(ValueError, match="outside"):
+            trace.validate()
+
+    def test_bad_tuple_rejected(self):
+        with pytest.raises(ValueError, match="unknown event"):
+            trace_from_tuples([("jump", 1)])
+
+
+class TestCollect:
+    def test_collect_structure(self, caller_program):
+        wpp = collect_wpp(caller_program)
+        tuples = wpp.to_tuples()
+        assert tuples[0] == ("enter", "main")
+        assert tuples[-1] == ("leave",)
+        # leaf alternates its two paths: sel = i % 2.
+        leaf_blocks = []
+        depth = 0
+        current = []
+        for t in tuples:
+            if t[0] == "enter" and t[1] == "leaf":
+                depth += 1
+                current = []
+            elif t[0] == "leave" and depth:
+                depth -= 1
+                leaf_blocks.append(tuple(current))
+                current = []
+            elif t[0] == "block" and depth:
+                current.append(t[1])
+        assert leaf_blocks == [
+            (1, 3, 4),
+            (1, 2, 4),
+            (1, 3, 4),
+            (1, 2, 4),
+            (1, 3, 4),
+            (1, 2, 4),
+            (1, 3, 4),
+        ]
