@@ -3,6 +3,16 @@
 A from-scratch reproduction of Zhang & Gupta, "Timestamped Whole Program
 Path Representation and its Applications" (PLDI 2001).
 
+The package-level surface is the :mod:`repro.api` facade -- a
+:class:`Session` plus four verbs:
+
+>>> import repro
+>>> wpp = repro.trace(program)          # run + collect the WPP
+>>> result = repro.compact(wpp, jobs=4) # parallel sharded compaction
+>>> result.save("run.twpp")
+>>> repro.query("run.twpp", "main")     # indexed per-function read
+>>> repro.stats(wpp).overall_factor     # Tables 1-3 accounting
+
 Subpackages
 -----------
 ``repro.ir``
@@ -14,7 +24,11 @@ Subpackages
 ``repro.compact``
     The paper's core contribution: redundant-trace elimination, dynamic
     basic block dictionaries, the timestamped WPP (TWPP), arithmetic
-    series compaction, LZW, the indexed ``.twpp`` file format.
+    series compaction, LZW, the indexed ``.twpp`` file format, and the
+    parallel sharded compaction engine.
+``repro.obs``
+    Observability: the metrics registry (stage timers, counters, byte
+    histograms) threaded through the pipeline.
 ``repro.sequitur``
     The Larus (PLDI 1999) Sequitur-compressed WPP baseline.
 ``repro.analysis``
@@ -28,9 +42,54 @@ Subpackages
     Experiment drivers regenerating every table and figure.
 """
 
-__version__ = "1.0.0"
+import warnings as _warnings
 
-from .interp import run_program
-from .trace import collect_wpp
+__version__ = "1.1.0"
 
-__all__ = ["collect_wpp", "run_program", "__version__"]
+from .api import CompactResult, Session, compact, query, stats, trace
+from .interp import run_program as _run_program
+from .obs import MetricsRegistry
+from .trace import collect_wpp as _collect_wpp
+
+__all__ = [
+    "CompactResult",
+    "MetricsRegistry",
+    "Session",
+    "__version__",
+    "collect_wpp",
+    "compact",
+    "query",
+    "run_program",
+    "stats",
+    "trace",
+]
+
+
+def run_program(*args, **kwargs):
+    """Deprecated alias for :func:`repro.interp.run_program`.
+
+    Import it from :mod:`repro.interp`, or use :func:`repro.trace` /
+    :meth:`repro.Session.trace` for the run-and-collect path.
+    """
+    _warnings.warn(
+        "repro.run_program is deprecated; use repro.trace(program) or "
+        "repro.interp.run_program",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_program(*args, **kwargs)
+
+
+def collect_wpp(*args, **kwargs):
+    """Deprecated alias for :func:`repro.trace.collect_wpp`.
+
+    Use :func:`repro.trace` / :meth:`repro.Session.trace`, or import
+    ``collect_wpp`` from :mod:`repro.trace`.
+    """
+    _warnings.warn(
+        "repro.collect_wpp is deprecated; use repro.trace(program) or "
+        "repro.trace.collect_wpp",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _collect_wpp(*args, **kwargs)

@@ -1,0 +1,231 @@
+"""The ``repro`` facade: one Session, four verbs.
+
+The library grew one entry point per module (``repro.interp.run_program``,
+``repro.trace.collect_wpp``, ``repro.compact.compact_wpp``, ...); this
+module fronts them with a single coherent surface:
+
+>>> import repro
+>>> wpp = repro.trace(program)                    # run + collect the WPP
+>>> result = repro.compact(wpp, jobs=4)           # parallel compaction
+>>> result.save("run.twpp")
+>>> repro.query("run.twpp", "main")               # indexed extraction
+>>> repro.stats(wpp).overall_factor               # Table 1-3 accounting
+
+Each top-level verb builds a throwaway :class:`Session`; construct one
+yourself to share defaults (worker count) and accumulate metrics across
+calls:
+
+>>> s = repro.Session(jobs=4)
+>>> s.compact(s.trace(program)).save("run.twpp")
+>>> s.metrics.to_json()                           # stage timers etc.
+
+Inputs are polymorphic the way a CLI is: ``trace`` accepts a
+:class:`~repro.ir.module.Program` or a path to textual IR; ``compact``
+and ``stats`` accept a :class:`~repro.trace.wpp.WppTrace`, an
+already-partitioned WPP, or a ``.wpp`` path; ``query`` accepts a
+``.twpp`` path (indexed, reads one section), a ``.wpp`` path (linear
+scan baseline) or an in-memory :class:`CompactedWpp`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple, Union
+
+from .compact.format import read_twpp, write_twpp
+from .compact.pipeline import CompactedWpp, CompactionStats, compact_wpp
+from .compact.query import extract_function_traces
+from .ir.module import Program
+from .obs import MetricsRegistry
+from .trace.format import read_wpp, scan_function_traces, write_wpp
+from .trace.partition import PartitionedWpp, PathTrace, partition_wpp
+from .trace.wpp import WppTrace, collect_wpp
+
+PathLike = Union[str, "os.PathLike[str]"]
+WppSource = Union[WppTrace, PartitionedWpp, PathLike]
+TwppSource = Union[CompactedWpp, PathLike]
+
+__all__ = [
+    "CompactResult",
+    "Session",
+    "compact",
+    "query",
+    "stats",
+    "trace",
+]
+
+
+@dataclass
+class CompactResult:
+    """What :meth:`Session.compact` returns: artifact plus accounting.
+
+    Unpacks like the classic ``(compacted, stats)`` tuple, so existing
+    call sites keep working: ``compacted, stats = session.compact(wpp)``.
+    """
+
+    compacted: CompactedWpp
+    stats: CompactionStats
+    session: "Session"
+
+    def __iter__(self) -> Iterator:
+        return iter((self.compacted, self.stats))
+
+    def save(self, path: PathLike) -> int:
+        """Write the indexed ``.twpp`` file; returns bytes written."""
+        return write_twpp(
+            self.compacted, path, metrics=self.session.metrics
+        )
+
+
+class Session:
+    """Shared defaults and metrics for a sequence of pipeline calls.
+
+    ``jobs`` is the default worker count for compaction (1 = serial,
+    0/None = one per CPU); ``metrics`` is the
+    :class:`~repro.obs.MetricsRegistry` every stage reports into (a
+    fresh one is created when not supplied).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.jobs = jobs
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # ---- verbs --------------------------------------------------------
+
+    def trace(
+        self,
+        program: Union[Program, PathLike],
+        args: Tuple[int, ...] = (),
+        inputs: Tuple[int, ...] = (),
+        max_events: Optional[int] = None,
+    ) -> WppTrace:
+        """Run a program (object or textual-IR path), collect its WPP."""
+        with self.metrics.timer("trace"):
+            wpp = collect_wpp(
+                self._load_program(program),
+                args=args,
+                inputs=inputs,
+                max_events=max_events,
+            )
+        self.metrics.inc("trace.events", len(wpp))
+        return wpp
+
+    def partition(self, wpp: WppSource) -> PartitionedWpp:
+        """Partition a WPP into per-call path traces plus a DCG."""
+        if isinstance(wpp, PartitionedWpp):
+            return wpp
+        return partition_wpp(self._load_wpp(wpp), metrics=self.metrics)
+
+    def compact(
+        self, wpp: WppSource, jobs: Optional[int] = None
+    ) -> CompactResult:
+        """Run the compaction pipeline; ``jobs`` overrides the session's."""
+        compacted, stats = compact_wpp(
+            self.partition(wpp),
+            jobs=self.jobs if jobs is None else jobs,
+            metrics=self.metrics,
+        )
+        return CompactResult(compacted=compacted, stats=stats, session=self)
+
+    def query(self, twpp: TwppSource, func: str) -> List[PathTrace]:
+        """One function's path traces from a compacted WPP or trace file.
+
+        A ``.twpp`` path uses the indexed read (header + one section);
+        an in-memory :class:`CompactedWpp` reads its tables directly; a
+        ``.wpp`` path falls back to the linear scan baseline.
+        """
+        if isinstance(twpp, CompactedWpp):
+            fc = twpp.function(func)
+            return [fc.expand_pair(p) for p in range(len(fc.pairs))]
+        with self.metrics.timer("query"):
+            magic = _sniff_magic(twpp)
+            if magic == b"WPP1":
+                traces = scan_function_traces(twpp, func)
+            elif magic == b"SQWP":
+                from .sequitur.wpp_codec import (
+                    extract_function_traces_sequitur,
+                )
+
+                traces = extract_function_traces_sequitur(twpp, func)
+            else:
+                traces = extract_function_traces(twpp, func)
+        self.metrics.inc("query.calls")
+        return traces
+
+    def stats(
+        self, wpp: WppSource, jobs: Optional[int] = None
+    ) -> CompactionStats:
+        """Per-stage size accounting (Tables 1-3) for a WPP."""
+        return self.compact(wpp, jobs=jobs).stats
+
+    # ---- persistence --------------------------------------------------
+
+    def save_wpp(self, wpp: WppTrace, path: PathLike) -> int:
+        """Write an uncompacted ``.wpp`` file; returns bytes written."""
+        return write_wpp(wpp, path)
+
+    def load(self, path: PathLike) -> CompactedWpp:
+        """Read a ``.twpp`` file back into memory."""
+        return read_twpp(path)
+
+    # ---- helpers ------------------------------------------------------
+
+    @staticmethod
+    def _load_program(program: Union[Program, PathLike]) -> Program:
+        if isinstance(program, Program):
+            return program
+        from .ir.parser import parse_program
+
+        with open(program) as fh:
+            return parse_program(fh.read())
+
+    @staticmethod
+    def _load_wpp(wpp: WppSource) -> WppTrace:
+        if isinstance(wpp, WppTrace):
+            return wpp
+        return read_wpp(wpp)
+
+
+def _sniff_magic(path: PathLike) -> bytes:
+    with open(path, "rb") as fh:
+        return fh.read(4)
+
+
+def trace(
+    program: Union[Program, PathLike],
+    args: Tuple[int, ...] = (),
+    inputs: Tuple[int, ...] = (),
+    max_events: Optional[int] = None,
+) -> WppTrace:
+    """Run a program and collect its whole program path."""
+    return Session().trace(
+        program, args=args, inputs=inputs, max_events=max_events
+    )
+
+
+def compact(
+    wpp: WppSource,
+    jobs: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
+) -> CompactResult:
+    """Compact a WPP (``jobs > 1`` shards functions across a pool)."""
+    return Session(jobs=jobs, metrics=metrics).compact(wpp)
+
+
+def query(twpp: TwppSource, func: str) -> List[PathTrace]:
+    """Extract one function's path traces from a compacted (or raw) WPP."""
+    return Session().query(twpp, func)
+
+
+def stats(
+    wpp: WppSource,
+    jobs: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
+) -> CompactionStats:
+    """Compaction stage-size accounting for a WPP."""
+    return Session(jobs=jobs, metrics=metrics).stats(wpp)

@@ -4,7 +4,8 @@ Usage (also via ``python -m repro``)::
 
     repro-wpp generate perl-like -o prog.ir          # textual IR out
     repro-wpp trace prog.ir -o run.wpp --arg 0       # run + collect WPP
-    repro-wpp compact run.wpp -o run.twpp            # compaction pipeline
+    repro-wpp compact run.wpp -o run.twpp -j 4       # parallel compaction
+    repro-wpp compact run.wpp -o run.twpp --metrics-out m.json
     repro-wpp sequitur run.wpp -o run.sqwp           # Larus baseline
     repro-wpp info run.twpp                          # header/summary
     repro-wpp query run.twpp some_function           # per-function traces
@@ -76,12 +77,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_compact(args: argparse.Namespace) -> int:
     from .compact.format import write_twpp
     from .compact.pipeline import compact_wpp
+    from .obs import MetricsRegistry
     from .trace.format import read_wpp
     from .trace.partition import partition_wpp
 
+    metrics = MetricsRegistry()
     wpp = read_wpp(args.wpp)
-    compacted, stats = compact_wpp(partition_wpp(wpp))
-    size = write_twpp(compacted, args.output)
+    part = partition_wpp(wpp, metrics=metrics)
+    compacted, stats = compact_wpp(part, jobs=args.jobs, metrics=metrics)
+    size = write_twpp(compacted, args.output, metrics=metrics)
     print(f"wrote {args.output} ({size} bytes)")
     print(
         f"stages: dedup x{stats.dedup_factor:.2f}, "
@@ -89,6 +93,9 @@ def _cmd_compact(args: argparse.Namespace) -> int:
         f"twpp x{stats.twpp_factor:.2f}  =>  "
         f"overall x{stats.overall_factor:.1f}"
     )
+    if args.metrics_out:
+        metrics.write_json(args.metrics_out)
+        print(f"wrote {args.metrics_out}")
     return 0
 
 
@@ -178,12 +185,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .compact.pipeline import compact_wpp
+    from .obs import MetricsRegistry
     from .trace.format import read_wpp
     from .trace.partition import partition_wpp
 
+    metrics = MetricsRegistry()
     wpp = read_wpp(args.wpp)
-    part = partition_wpp(wpp)
-    _compacted, stats = compact_wpp(part)
+    part = partition_wpp(wpp, metrics=metrics)
+    _compacted, stats = compact_wpp(part, jobs=args.jobs, metrics=metrics)
     kb = 1024
     print(f"events            : {len(wpp)}")
     print(f"activations       : {sum(part.call_counts().values())}")
@@ -200,6 +209,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
           f"(x{stats.twpp_factor:.2f})")
     print(f"total compacted   : {stats.compacted_total_bytes / kb:.1f} KB "
           f"(overall x{stats.overall_factor:.1f})")
+    if args.metrics_out:
+        metrics.write_json(args.metrics_out)
+        print(f"wrote {args.metrics_out}")
     return 0
 
 
@@ -300,6 +312,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compact", help="compact a .wpp into an indexed .twpp")
     p.add_argument("wpp", help=".wpp input path")
     p.add_argument("-o", "--output", required=True, help=".twpp output path")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="compaction worker processes (0 = one per CPU)")
+    p.add_argument("--metrics-out",
+                   help="write per-stage metrics JSON to this path")
     p.set_defaults(func=_cmd_compact)
 
     p = sub.add_parser("sequitur", help="compress a .wpp with the Larus baseline")
@@ -320,6 +336,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("stats", help="compaction stage report for a .wpp")
     p.add_argument("wpp")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="compaction worker processes (0 = one per CPU)")
+    p.add_argument("--metrics-out",
+                   help="write per-stage metrics JSON to this path")
     p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser(

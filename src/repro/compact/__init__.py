@@ -39,10 +39,17 @@ from .format import (
     write_twpp,
 )
 from .lzw import lzw_compress, lzw_decompress
+from .parallel import (
+    compact_functions_parallel,
+    plan_shards,
+    resolve_jobs,
+)
 from .pipeline import (
     CompactedWpp,
     CompactionStats,
     FunctionCompact,
+    FunctionCompactResult,
+    compact_function,
     compact_wpp,
     dictionary_bytes,
     twpp_bytes,
@@ -68,6 +75,7 @@ __all__ = [
     "CompactionStats",
     "DbbDictionary",
     "FunctionCompact",
+    "FunctionCompactResult",
     "FunctionDelta",
     "FunctionIndexEntry",
     "IntegrityError",
@@ -75,6 +83,8 @@ __all__ = [
     "TwppHeader",
     "TwppPathTrace",
     "TwppReader",
+    "compact_function",
+    "compact_functions_parallel",
     "compact_trace",
     "compact_wpp",
     "compress_series",
@@ -93,8 +103,10 @@ __all__ = [
     "iter_entries",
     "lzw_compress",
     "lzw_decompress",
+    "plan_shards",
     "read_header",
     "read_twpp",
+    "resolve_jobs",
     "serialize_twpp",
     "series_contains",
     "series_len",

@@ -28,6 +28,7 @@ import os
 from dataclasses import dataclass
 from typing import BinaryIO, Dict, List, Optional, Tuple, Union
 
+from ..obs import MetricsRegistry
 from ..trace.dcg import DynamicCallGraph
 from ..trace.encoding import (
     check_count,
@@ -151,49 +152,63 @@ def _parse_section(data: bytes, name: str, call_count: int) -> FunctionCompact:
     return fc
 
 
-def serialize_twpp(compacted: CompactedWpp) -> bytes:
+def serialize_twpp(
+    compacted: CompactedWpp, metrics: Optional[MetricsRegistry] = None
+) -> bytes:
     """Serialize a compacted WPP to ``.twpp`` bytes."""
-    # Storage order: hottest functions first (paper: "the path traces
-    # ... of the most frequently called function are stored first").
-    order = sorted(
-        range(len(compacted.functions)),
-        key=lambda i: (-compacted.functions[i].call_count, i),
-    )
-    sections: List[bytes] = []
-    offsets: List[int] = []
-    cursor = 0
-    for idx in order:
-        data = _serialize_section(compacted.functions[idx])
-        offsets.append(cursor)
-        sections.append(data)
-        cursor += len(data)
+    if metrics is None:
+        metrics = MetricsRegistry()
+    with metrics.timer("twpp.serialize"):
+        # Storage order: hottest functions first (paper: "the path traces
+        # ... of the most frequently called function are stored first").
+        order = sorted(
+            range(len(compacted.functions)),
+            key=lambda i: (-compacted.functions[i].call_count, i),
+        )
+        sections: List[bytes] = []
+        offsets: List[int] = []
+        cursor = 0
+        for idx in order:
+            data = _serialize_section(compacted.functions[idx])
+            offsets.append(cursor)
+            sections.append(data)
+            cursor += len(data)
+            metrics.observe("twpp.section_bytes", len(data))
 
-    dcg_raw = compacted.dcg.serialize()
-    dcg_comp = lzw_compress(dcg_raw)
+        dcg_raw = compacted.dcg.serialize()
+        dcg_comp = lzw_compress(dcg_raw)
 
-    buf = bytearray()
-    buf.extend(MAGIC)
-    write_uvarint(buf, len(order))
-    for pos, idx in enumerate(order):
-        fc = compacted.functions[idx]
-        write_string(buf, fc.name)
-        write_uvarint(buf, fc.call_count)
-        write_uvarint(buf, idx)
-        write_uvarint(buf, offsets[pos])
-        write_uvarint(buf, len(sections[pos]))
-    write_uvarint(buf, len(dcg_raw))
-    write_uvarint(buf, len(dcg_comp))
-    buf.extend(dcg_comp)
-    for data in sections:
-        buf.extend(data)
+        buf = bytearray()
+        buf.extend(MAGIC)
+        write_uvarint(buf, len(order))
+        for pos, idx in enumerate(order):
+            fc = compacted.functions[idx]
+            write_string(buf, fc.name)
+            write_uvarint(buf, fc.call_count)
+            write_uvarint(buf, idx)
+            write_uvarint(buf, offsets[pos])
+            write_uvarint(buf, len(sections[pos]))
+        write_uvarint(buf, len(dcg_raw))
+        write_uvarint(buf, len(dcg_comp))
+        buf.extend(dcg_comp)
+        for data in sections:
+            buf.extend(data)
     return bytes(buf)
 
 
-def write_twpp(compacted: CompactedWpp, path: PathLike) -> int:
+def write_twpp(
+    compacted: CompactedWpp,
+    path: PathLike,
+    metrics: Optional[MetricsRegistry] = None,
+) -> int:
     """Write a ``.twpp`` file; returns the byte size written."""
-    data = serialize_twpp(compacted)
-    with open(path, "wb") as fh:
-        fh.write(data)
+    if metrics is None:
+        metrics = MetricsRegistry()
+    data = serialize_twpp(compacted, metrics=metrics)
+    with metrics.timer("twpp.write"):
+        with open(path, "wb") as fh:
+            fh.write(data)
+    metrics.inc("twpp.bytes_written", len(data))
     return len(data)
 
 

@@ -1,0 +1,137 @@
+"""Parallel sharded compaction across a process pool.
+
+Per-function partitioning (the paper's central structural move) makes
+compaction embarrassingly parallel: each function's DBB compaction,
+body/dictionary interning, TWPP conversion and size accounting depend
+only on that function's unique raw traces.  This module fans those
+units -- :func:`repro.compact.pipeline.compact_function` -- across a
+``concurrent.futures.ProcessPoolExecutor``:
+
+1. estimate each function's cost (total blocks across unique traces);
+2. pack functions into ``jobs * chunks_per_job`` shards with a greedy
+   longest-processing-time bin packing, so one giant function cannot
+   serialize the whole pool while small shards keep the queue fed;
+3. ship each shard (function indices, names, call counts, raw traces)
+   to a worker, which returns pure :class:`FunctionCompactResult`\\ s;
+4. merge results back **in function index order**.
+
+Step 4 is what makes the parallel path byte-identical to the serial
+one: per-function compaction is deterministic and the merge ignores
+completion order, so ``jobs`` only changes wall-clock time, never the
+compacted output.  If a pool cannot be created or breaks (sandboxes
+without ``/dev/shm``, interpreter teardown), we fall back to in-process
+compaction and record it on the ``compact.parallel_fallback`` counter.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import List, Optional, Sequence, Tuple
+
+from ..obs import MetricsRegistry
+from ..trace.partition import PartitionedWpp, PathTrace
+from .pipeline import FunctionCompactResult, compact_function
+
+# One payload item: (function index, name, call count, unique raw traces).
+ShardItem = Tuple[int, str, int, List[PathTrace]]
+
+DEFAULT_CHUNKS_PER_JOB = 4
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` means one per CPU."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def plan_shards(costs: Sequence[int], n_shards: int) -> List[List[int]]:
+    """Pack item indices into at most ``n_shards`` cost-balanced shards.
+
+    Greedy LPT: place items largest-first onto the currently lightest
+    shard.  Ties break on the lowest shard index, so the plan is
+    deterministic for a given cost vector.  Empty shards are dropped.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    n_shards = min(n_shards, len(costs)) or 1
+    shards: List[List[int]] = [[] for _ in range(n_shards)]
+    loads = [0] * n_shards
+    order = sorted(range(len(costs)), key=lambda i: (-costs[i], i))
+    for idx in order:
+        lightest = loads.index(min(loads))
+        shards[lightest].append(idx)
+        loads[lightest] += costs[idx] + 1  # +1: per-function fixed overhead
+    return [shard for shard in shards if shard]
+
+
+def _compact_shard(
+    payload: List[ShardItem],
+) -> List[Tuple[int, FunctionCompactResult]]:
+    """Worker entry point: compact every function in one shard."""
+    return [
+        (func_idx, compact_function(name, call_count, traces))
+        for func_idx, name, call_count, traces in payload
+    ]
+
+
+def _compact_serially(
+    payloads: List[List[ShardItem]], results: List[Optional[FunctionCompactResult]]
+) -> None:
+    for payload in payloads:
+        for func_idx, res in _compact_shard(payload):
+            results[func_idx] = res
+
+
+def compact_functions_parallel(
+    partitioned: PartitionedWpp,
+    call_counts: Sequence[int],
+    jobs: int,
+    metrics: Optional[MetricsRegistry] = None,
+    chunks_per_job: int = DEFAULT_CHUNKS_PER_JOB,
+) -> List[FunctionCompactResult]:
+    """Compact every function on a pool of ``jobs`` worker processes.
+
+    Returns one :class:`FunctionCompactResult` per function, in
+    function index order -- exactly what the serial loop in
+    :func:`repro.compact.pipeline.compact_wpp` produces.
+    """
+    if metrics is None:
+        metrics = MetricsRegistry()
+    names = partitioned.func_names
+    costs = [
+        sum(len(trace) + 1 for trace in traces)
+        for traces in partitioned.traces
+    ]
+    shards = plan_shards(costs, jobs * max(1, chunks_per_job))
+    payloads: List[List[ShardItem]] = [
+        [
+            (idx, names[idx], call_counts[idx], partitioned.traces[idx])
+            for idx in shard
+        ]
+        for shard in shards
+    ]
+    metrics.inc("compact.parallel_runs")
+    metrics.inc("compact.shards", len(shards))
+
+    results: List[Optional[FunctionCompactResult]] = [None] * len(names)
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for chunk in pool.map(_compact_shard, payloads):
+                for func_idx, res in chunk:
+                    results[func_idx] = res
+    except (OSError, BrokenProcessPool, RuntimeError):
+        # Pool creation/teardown failed (restricted sandbox, missing
+        # semaphores, interpreter shutdown): compact in-process instead.
+        metrics.inc("compact.parallel_fallback")
+        results = [None] * len(names)
+        _compact_serially(payloads, results)
+
+    missing = [i for i, res in enumerate(results) if res is None]
+    if missing:  # pragma: no cover - defensive; plan covers every index
+        raise RuntimeError(f"shard plan dropped function indices {missing}")
+    return results  # type: ignore[return-value]

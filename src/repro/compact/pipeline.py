@@ -13,17 +13,26 @@ Stages (paper, Section 2):
 4. convert each unique trace body to compacted TWPP form;
 5. LZW-compress the DCG.
 
+Stages 3 and 4 are per-function work with no cross-function coupling,
+so :func:`compact_function` packages them (plus the per-function size
+accounting) as a pure unit.  :func:`compact_wpp` runs the units either
+serially or -- with ``jobs > 1`` -- fanned across a process pool via
+:mod:`repro.compact.parallel`; both paths merge results in function
+index order, so the compacted output is byte-identical either way.
+
 The returned :class:`CompactionStats` carries the serialized byte size
 after every stage, which is precisely the data behind the paper's
-Tables 1-3.
+Tables 1-3.  Passing a :class:`~repro.obs.MetricsRegistry` additionally
+records per-stage wall-clock timers, counters and byte histograms.
 """
 
 from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..obs import MetricsRegistry
 from ..trace.dcg import DynamicCallGraph
 from ..trace.encoding import uvarint_size
 from ..trace.partition import PartitionedWpp, PathTrace
@@ -68,12 +77,20 @@ class CompactedWpp:
     functions: List[FunctionCompact]
     dcg: DynamicCallGraph
 
+    _name_index: Optional[Dict[str, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
     def function(self, name: str) -> FunctionCompact:
         """Look up one function's compacted record by name."""
-        for fc in self.functions:
-            if fc.name == name:
-                return fc
-        raise KeyError(f"function {name!r} not in compacted WPP")
+        index = self._name_index
+        if index is None or len(index) != len(self.functions):
+            index = {fc.name: i for i, fc in enumerate(self.functions)}
+            self._name_index = index
+        try:
+            return self.functions[index[name]]
+        except KeyError:
+            raise KeyError(f"function {name!r} not in compacted WPP") from None
 
     def to_partitioned(self) -> PartitionedWpp:
         """Expand back to partitioned (uncompacted path trace) form.
@@ -147,63 +164,153 @@ def _ratio(a: int, b: int) -> float:
     return a / b if b else float("inf")
 
 
-def compact_wpp(partitioned: PartitionedWpp) -> Tuple[CompactedWpp, CompactionStats]:
-    """Run the full compaction pipeline on a partitioned WPP."""
-    stats = CompactionStats(
-        owpp_trace_bytes=partitioned.trace_bytes_with_redundancy(),
-        dcg_raw_bytes=partitioned.dcg_bytes(),
-        dedup_trace_bytes=partitioned.trace_bytes_deduped(),
+@dataclass
+class FunctionCompactResult:
+    """One function's compaction output plus its size accounting.
+
+    This is the unit of parallel work: everything in it derives from a
+    single function's raw trace table, so shards of functions can be
+    compacted on worker processes and merged by function index.
+    ``pair_map`` maps the function's raw trace ids to pair ids (needed
+    to rewrite DCG trace references); the ``*_sizes`` tuples hold the
+    serialized size of each unique body (dictionary-compacted form),
+    each DBB dictionary, and each TWPP-converted body respectively.
+    """
+
+    function: FunctionCompact
+    pair_map: List[int]
+    body_sizes: Tuple[int, ...]
+    dict_sizes: Tuple[int, ...]
+    twpp_sizes: Tuple[int, ...]
+
+
+def compact_function(
+    name: str, call_count: int, raw_traces: List[PathTrace]
+) -> FunctionCompactResult:
+    """Compact one function's unique raw traces (pipeline stages 3-4).
+
+    Pure and deterministic: the result depends only on the arguments,
+    which is what makes per-function sharding safe.
+    """
+    fc = FunctionCompact(name=name, call_count=call_count)
+    body_intern: Dict[PathTrace, int] = {}
+    dict_intern: Dict[DbbDictionary, int] = {}
+    pair_map: List[int] = []
+    for raw_trace in raw_traces:
+        body, dictionary = compact_trace(raw_trace)
+        body_id = body_intern.get(body)
+        if body_id is None:
+            body_id = len(fc.trace_table)
+            body_intern[body] = body_id
+            fc.trace_table.append(body)
+            fc.twpp_table.append(trace_to_twpp(body))
+        dict_id = dict_intern.get(dictionary)
+        if dict_id is None:
+            dict_id = len(fc.dict_table)
+            dict_intern[dictionary] = dict_id
+            fc.dict_table.append(dictionary)
+        pair_map.append(len(fc.pairs))
+        fc.pairs.append((body_id, dict_id))
+    return FunctionCompactResult(
+        function=fc,
+        pair_map=pair_map,
+        body_sizes=tuple(_trace_bytes(b) for b in fc.trace_table),
+        dict_sizes=tuple(dictionary_bytes(d) for d in fc.dict_table),
+        twpp_sizes=tuple(twpp_bytes(t) for t in fc.twpp_table),
     )
 
-    call_counts = partitioned.dcg.calls_per_function(len(partitioned.func_names))
-    functions: List[FunctionCompact] = []
-    pair_maps: List[List[int]] = []  # per function: raw trace id -> pair id
 
-    for func_idx, name in enumerate(partitioned.func_names):
-        fc = FunctionCompact(name=name, call_count=call_counts[func_idx])
-        body_intern: Dict[PathTrace, int] = {}
-        dict_intern: Dict[DbbDictionary, int] = {}
-        pair_map: List[int] = []
-        for raw_trace in partitioned.traces[func_idx]:
-            body, dictionary = compact_trace(raw_trace)
-            body_id = body_intern.get(body)
-            if body_id is None:
-                body_id = len(fc.trace_table)
-                body_intern[body] = body_id
-                fc.trace_table.append(body)
-                fc.twpp_table.append(trace_to_twpp(body))
-            dict_id = dict_intern.get(dictionary)
-            if dict_id is None:
-                dict_id = len(fc.dict_table)
-                dict_intern[dictionary] = dict_id
-                fc.dict_table.append(dictionary)
-            pair_map.append(len(fc.pairs))
-            fc.pairs.append((body_id, dict_id))
-        functions.append(fc)
-        pair_maps.append(pair_map)
+def compact_wpp(
+    partitioned: PartitionedWpp,
+    jobs: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Tuple[CompactedWpp, CompactionStats]:
+    """Run the full compaction pipeline on a partitioned WPP.
 
-    # Rewrite DCG trace references from raw-trace ids to pair ids.
-    new_trace = array("I")
-    for func_idx, trace_id in zip(
-        partitioned.dcg.node_func, partitioned.dcg.node_trace
+    ``jobs`` selects the execution strategy: 1 compacts every function
+    on this process, ``> 1`` shards functions across a worker pool
+    (``0``/``None`` means one worker per CPU).  Output is byte-for-byte
+    identical regardless of ``jobs``.  ``metrics`` (optional) collects
+    per-stage timers, counters and byte histograms.
+    """
+    from .parallel import compact_functions_parallel, resolve_jobs
+
+    if metrics is None:
+        metrics = MetricsRegistry()
+    n_jobs = resolve_jobs(jobs)
+
+    with metrics.timer("compact.total"):
+        with metrics.timer("compact.accounting"):
+            stats = CompactionStats(
+                owpp_trace_bytes=partitioned.trace_bytes_with_redundancy(),
+                dcg_raw_bytes=partitioned.dcg_bytes(),
+                dedup_trace_bytes=partitioned.trace_bytes_deduped(),
+            )
+
+        call_counts = partitioned.dcg.calls_per_function(
+            len(partitioned.func_names)
+        )
+
+        with metrics.timer("compact.functions"):
+            if n_jobs > 1 and len(partitioned.func_names) > 1:
+                results = compact_functions_parallel(
+                    partitioned, call_counts, n_jobs, metrics=metrics
+                )
+            else:
+                results = [
+                    compact_function(
+                        name, call_counts[i], partitioned.traces[i]
+                    )
+                    for i, name in enumerate(partitioned.func_names)
+                ]
+
+        functions: List[FunctionCompact] = []
+        pair_maps: List[List[int]] = []
+        for res in results:
+            functions.append(res.function)
+            pair_maps.append(res.pair_map)
+            for size in res.body_sizes:
+                metrics.observe("compact.body_bytes", size)
+            for size in res.dict_sizes:
+                metrics.observe("compact.dict_bytes", size)
+            stats.dict_stage_trace_bytes += sum(res.body_sizes)
+            stats.dictionary_bytes += sum(res.dict_sizes)
+            stats.ctwpp_trace_bytes += sum(res.twpp_sizes)
+
+        # Rewrite DCG trace references from raw-trace ids to pair ids.
+        with metrics.timer("compact.dcg"):
+            new_trace = array("I")
+            for func_idx, trace_id in zip(
+                partitioned.dcg.node_func, partitioned.dcg.node_trace
+            ):
+                new_trace.append(pair_maps[func_idx][trace_id])
+            dcg = DynamicCallGraph(
+                node_func=partitioned.dcg.node_func,
+                node_trace=new_trace,
+                node_parent=partitioned.dcg.node_parent,
+            )
+
+        with metrics.timer("compact.lzw_dcg"):
+            stats.dcg_lzw_bytes = len(lzw_compress(dcg.serialize()))
+
+    metrics.inc("compact.functions", len(functions))
+    metrics.inc("compact.pairs", sum(len(fc.pairs) for fc in functions))
+    metrics.inc(
+        "compact.unique_bodies", sum(len(fc.trace_table) for fc in functions)
+    )
+    metrics.inc(
+        "compact.unique_dicts", sum(len(fc.dict_table) for fc in functions)
+    )
+    for name, value in (
+        ("compact.bytes.owpp_traces", stats.owpp_trace_bytes),
+        ("compact.bytes.dcg_raw", stats.dcg_raw_bytes),
+        ("compact.bytes.dedup_traces", stats.dedup_trace_bytes),
+        ("compact.bytes.dict_stage_traces", stats.dict_stage_trace_bytes),
+        ("compact.bytes.dictionaries", stats.dictionary_bytes),
+        ("compact.bytes.ctwpp_traces", stats.ctwpp_trace_bytes),
+        ("compact.bytes.dcg_lzw", stats.dcg_lzw_bytes),
     ):
-        new_trace.append(pair_maps[func_idx][trace_id])
-    dcg = DynamicCallGraph(
-        node_func=partitioned.dcg.node_func,
-        node_trace=new_trace,
-        node_parent=partitioned.dcg.node_parent,
-    )
-
-    stats.dict_stage_trace_bytes = sum(
-        _trace_bytes(body) for fc in functions for body in fc.trace_table
-    )
-    stats.dictionary_bytes = sum(
-        dictionary_bytes(d) for fc in functions for d in fc.dict_table
-    )
-    stats.ctwpp_trace_bytes = sum(
-        twpp_bytes(t) for fc in functions for t in fc.twpp_table
-    )
-    stats.dcg_lzw_bytes = len(lzw_compress(dcg.serialize()))
+        metrics.inc(name, value)
 
     return CompactedWpp(
         func_names=list(partitioned.func_names),

@@ -12,8 +12,9 @@ sizes are recoverable from the result.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..obs import MetricsRegistry
 from .dcg import DynamicCallGraph
 from .encoding import uvarint_size
 from .wpp import BLOCK, ENTER, LEAVE, WppTrace
@@ -90,12 +91,17 @@ def _trace_size(trace: PathTrace) -> int:
     return uvarint_size(len(trace)) + sum(uvarint_size(b) for b in trace)
 
 
-def partition_wpp(wpp: WppTrace) -> PartitionedWpp:
+def partition_wpp(
+    wpp: WppTrace, metrics: Optional[MetricsRegistry] = None
+) -> PartitionedWpp:
     """Break a WPP into unique path traces linked by a DCG.
 
     One pass over the event stream with an activation stack; traces are
-    deduplicated on the fly (hash-consed per function).
+    deduplicated on the fly (hash-consed per function).  ``metrics``
+    (optional) records the stage timer and event/activation counters.
     """
+    if metrics is None:
+        metrics = MetricsRegistry()
     dcg = DynamicCallGraph()
     traces: List[List[PathTrace]] = [[] for _ in wpp.func_names]
     intern: List[Dict[PathTrace, int]] = [{} for _ in wpp.func_names]
@@ -103,32 +109,38 @@ def partition_wpp(wpp: WppTrace) -> PartitionedWpp:
     # Stack of (node index, list of block ids executed so far).
     stack: List[Tuple[int, List[int]]] = []
 
-    for kind, arg in wpp.iter_events():
-        if kind == ENTER:
-            parent = stack[-1][0] if stack else -1
-            node = dcg.add_node(arg, parent)
-            stack.append((node, []))
-        elif kind == BLOCK:
-            if not stack:
-                raise ValueError("BLOCK event outside any activation")
-            stack[-1][1].append(arg)
-        elif kind == LEAVE:
-            if not stack:
-                raise ValueError("unbalanced LEAVE event")
-            node, blocks = stack.pop()
-            func_idx = dcg.node_func[node]
-            trace = tuple(blocks)
-            trace_id = intern[func_idx].get(trace)
-            if trace_id is None:
-                trace_id = len(traces[func_idx])
-                traces[func_idx].append(trace)
-                intern[func_idx][trace] = trace_id
-            dcg.set_trace(node, trace_id)
-        else:  # pragma: no cover - pack/unpack guarantees kind in {0,1,2}
-            raise ValueError(f"unknown event kind {kind}")
+    with metrics.timer("partition"):
+        for kind, arg in wpp.iter_events():
+            if kind == ENTER:
+                parent = stack[-1][0] if stack else -1
+                node = dcg.add_node(arg, parent)
+                stack.append((node, []))
+            elif kind == BLOCK:
+                if not stack:
+                    raise ValueError("BLOCK event outside any activation")
+                stack[-1][1].append(arg)
+            elif kind == LEAVE:
+                if not stack:
+                    raise ValueError("unbalanced LEAVE event")
+                node, blocks = stack.pop()
+                func_idx = dcg.node_func[node]
+                trace = tuple(blocks)
+                trace_id = intern[func_idx].get(trace)
+                if trace_id is None:
+                    trace_id = len(traces[func_idx])
+                    traces[func_idx].append(trace)
+                    intern[func_idx][trace] = trace_id
+                dcg.set_trace(node, trace_id)
+            else:  # pragma: no cover - pack/unpack guarantees kind in {0,1,2}
+                raise ValueError(f"unknown event kind {kind}")
 
     if stack:
         raise ValueError(f"{len(stack)} activations never closed")
+
+    metrics.inc("partition.events", len(wpp))
+    metrics.inc("partition.activations", len(dcg.node_func))
+    metrics.inc("partition.functions", len(wpp.func_names))
+    metrics.inc("partition.unique_traces", sum(len(t) for t in traces))
 
     return PartitionedWpp(
         func_names=list(wpp.func_names), dcg=dcg, traces=traces

@@ -1,0 +1,134 @@
+"""Tests for the repro.api facade (Session + top-level verbs)."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.api import CompactResult, Session
+from repro.compact import CompactedWpp, CompactionStats
+from repro.ir.printer import format_program
+from repro.trace import WppTrace
+from repro.workloads import figure1_program
+
+
+@pytest.fixture(scope="module")
+def program():
+    return figure1_program()
+
+
+@pytest.fixture(scope="module")
+def session_and_artifacts(program, tmp_path_factory):
+    base = tmp_path_factory.mktemp("api")
+    session = Session(jobs=2)
+    wpp = session.trace(program)
+    result = session.compact(wpp)
+    twpp_path = base / "run.twpp"
+    result.save(twpp_path)
+    wpp_path = base / "run.wpp"
+    session.save_wpp(wpp, wpp_path)
+    return session, wpp, result, wpp_path, twpp_path
+
+
+class TestSessionVerbs:
+    def test_trace_returns_wpp(self, session_and_artifacts):
+        _s, wpp, _r, _wp, _tp = session_and_artifacts
+        assert isinstance(wpp, WppTrace)
+        assert len(wpp) > 0
+
+    def test_trace_accepts_ir_path(self, tmp_path):
+        from repro.workloads.specs import workload
+
+        generated, _spec = workload("li-like", scale=0.1)
+        path = tmp_path / "prog.ir"
+        path.write_text(format_program(generated) + "\n")
+        wpp = Session().trace(path)
+        assert wpp.to_tuples() == repro.trace(generated).to_tuples()
+
+    def test_compact_result_unpacks_like_tuple(self, session_and_artifacts):
+        _s, _w, result, _wp, _tp = session_and_artifacts
+        compacted, stats = result
+        assert isinstance(compacted, CompactedWpp)
+        assert isinstance(stats, CompactionStats)
+        assert result.compacted is compacted and result.stats is stats
+
+    def test_compact_accepts_wpp_partitioned_and_path(
+        self, session_and_artifacts
+    ):
+        session, wpp, result, wpp_path, _tp = session_and_artifacts
+        from_path = session.compact(wpp_path)
+        from_part = session.compact(session.partition(wpp))
+        baseline = result.stats
+        assert from_path.stats == baseline
+        assert from_part.stats == baseline
+
+    def test_query_file_and_memory_agree(self, session_and_artifacts):
+        session, _w, result, wpp_path, twpp_path = session_and_artifacts
+        fc = result.compacted.function("f")
+        expected = [fc.expand_pair(p) for p in range(len(fc.pairs))]
+        assert session.query(result.compacted, "f") == expected
+        assert session.query(twpp_path, "f") == expected
+        # the raw .wpp scan returns one trace per activation instead
+        per_activation = session.query(wpp_path, "f")
+        assert len(per_activation) == fc.call_count
+        assert set(per_activation) == set(expected)
+
+    def test_stats_matches_compact(self, session_and_artifacts):
+        session, wpp, result, _wp, _tp = session_and_artifacts
+        assert session.stats(wpp) == result.stats
+
+    def test_load_round_trips(self, session_and_artifacts):
+        session, _w, result, _wp, twpp_path = session_and_artifacts
+        loaded = session.load(twpp_path)
+        assert loaded.func_names == result.compacted.func_names
+
+    def test_session_metrics_accumulate(self, session_and_artifacts):
+        session, _w, _r, _wp, _tp = session_and_artifacts
+        assert session.metrics.counter("trace.events") > 0
+        assert "partition" in session.metrics.timers_ms
+        assert "compact.total" in session.metrics.timers_ms
+        doc = session.metrics.to_dict()
+        assert doc["schema"] == "repro.metrics/1"
+
+
+class TestTopLevelVerbs:
+    def test_pipeline_via_module_functions(self, program, tmp_path):
+        wpp = repro.trace(program)
+        result = repro.compact(wpp, jobs=2)
+        assert isinstance(result, CompactResult)
+        path = tmp_path / "run.twpp"
+        assert result.save(path) == path.stat().st_size
+        assert repro.query(path, "f")
+        assert repro.stats(wpp) == result.stats
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestDeprecatedAliases:
+    def test_run_program_warns_and_delegates(self, program):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = repro.run_program(program)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert result.calls_made >= 1
+
+    def test_collect_wpp_warns_and_delegates(self, program):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            wpp = repro.collect_wpp(program)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert wpp.to_tuples() == repro.trace(program).to_tuples()
+
+    def test_module_level_collect_wpp_does_not_warn(self, program):
+        from repro.trace import collect_wpp
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("error", DeprecationWarning)
+            collect_wpp(program)
+        assert not caught

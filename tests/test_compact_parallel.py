@@ -1,0 +1,141 @@
+"""Parallel/serial compaction equivalence and shard planning.
+
+The contract of :mod:`repro.compact.parallel` is that ``jobs`` is a
+pure throughput knob: for every workload and every worker count the
+compacted WPP, its :class:`CompactionStats` and the serialized
+``.twpp`` bytes are identical to the serial pipeline's.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compact import (
+    compact_wpp,
+    plan_shards,
+    resolve_jobs,
+    serialize_twpp,
+    write_twpp,
+)
+from repro.obs import MetricsRegistry
+from repro.trace import collect_wpp, partition_wpp
+from repro.workloads import WorkloadSpec, generate_program
+from repro.workloads.specs import WORKLOAD_NAMES, workload
+
+JOBS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def partitioned_workloads():
+    """Every bundled workload, partitioned, at test-friendly scale."""
+    out = {}
+    for name in WORKLOAD_NAMES:
+        program, _spec = workload(name, scale=0.25)
+        out[name] = partition_wpp(collect_wpp(program))
+    return out
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_stats_and_bytes_identical_across_jobs(
+        self, name, partitioned_workloads, tmp_path
+    ):
+        part = partitioned_workloads[name]
+        baseline_compacted, baseline_stats = compact_wpp(part, jobs=1)
+        baseline_bytes = serialize_twpp(baseline_compacted)
+        for jobs in JOBS[1:]:
+            compacted, stats = compact_wpp(part, jobs=jobs)
+            assert stats == baseline_stats, f"{name}: stats differ at jobs={jobs}"
+            assert serialize_twpp(compacted) == baseline_bytes, (
+                f"{name}: .twpp bytes differ at jobs={jobs}"
+            )
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES[:1])
+    def test_twpp_files_identical_on_disk(
+        self, name, partitioned_workloads, tmp_path
+    ):
+        part = partitioned_workloads[name]
+        paths = []
+        for jobs in JOBS:
+            path = tmp_path / f"{name}-j{jobs}.twpp"
+            compacted, _stats = compact_wpp(part, jobs=jobs)
+            write_twpp(compacted, path)
+            paths.append(path)
+        blobs = [p.read_bytes() for p in paths]
+        assert blobs[0] == blobs[1] == blobs[2]
+
+    def test_parallel_run_recorded_in_metrics(self, partitioned_workloads):
+        part = partitioned_workloads[WORKLOAD_NAMES[0]]
+        metrics = MetricsRegistry()
+        compact_wpp(part, jobs=2, metrics=metrics)
+        assert metrics.counter("compact.parallel_runs") == 1
+        assert metrics.counter("compact.shards") >= 1
+        # Either the pool ran or the sandbox forced the serial fallback;
+        # both must still produce the recorded function totals.
+        assert metrics.counter("compact.functions") == len(part.func_names)
+
+    @settings(deadline=None, max_examples=15)
+    @given(seed=st.integers(min_value=0, max_value=2**20))
+    def test_generated_programs_equivalent(self, seed):
+        spec = WorkloadSpec(
+            name="parallel-fuzz",
+            seed=seed,
+            n_functions=5,
+            layers=2,
+            main_iterations=5,
+            loop_iters=(2, 4),
+            paths=(1, 3),
+            path_length=(1, 3),
+            branching=1.0,
+        )
+        part = partition_wpp(collect_wpp(generate_program(spec)))
+        serial_compacted, serial_stats = compact_wpp(part, jobs=1)
+        parallel_compacted, parallel_stats = compact_wpp(part, jobs=2)
+        assert parallel_stats == serial_stats
+        assert serialize_twpp(parallel_compacted) == serialize_twpp(
+            serial_compacted
+        )
+
+
+class TestShardPlanning:
+    def test_every_index_exactly_once(self):
+        costs = [5, 1, 9, 2, 2, 7, 1, 1]
+        shards = plan_shards(costs, 3)
+        flat = sorted(i for shard in shards for i in shard)
+        assert flat == list(range(len(costs)))
+        assert len(shards) <= 3
+
+    def test_balanced_loads(self):
+        costs = [10, 10, 10, 10, 1, 1, 1, 1]
+        shards = plan_shards(costs, 4)
+        loads = [sum(costs[i] for i in shard) for shard in shards]
+        assert max(loads) <= 2 * min(loads)
+
+    def test_more_shards_than_items(self):
+        shards = plan_shards([3, 1], 16)
+        assert sorted(i for s in shards for i in s) == [0, 1]
+        assert all(shard for shard in shards)
+
+    def test_deterministic(self):
+        costs = [4, 4, 4, 2, 2, 8]
+        assert plan_shards(costs, 3) == plan_shards(costs, 3)
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            plan_shards([1, 2], 0)
+
+
+class TestResolveJobs:
+    def test_defaults_to_cpu_count(self):
+        import os
+
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_passthrough(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)

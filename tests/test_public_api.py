@@ -11,8 +11,10 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.api",
     "repro.ir",
     "repro.interp",
+    "repro.obs",
     "repro.trace",
     "repro.compact",
     "repro.sequitur",
@@ -44,6 +46,61 @@ class TestExports:
         )
         from repro.ir import ProgramBuilder, binop  # noqa: F401
         from repro.trace import collect_wpp, partition_wpp  # noqa: F401
+
+    def test_facade_surface_pinned(self):
+        """The top-level API is the repro.api facade, exactly."""
+        import repro
+
+        assert repro.__all__ == [
+            "CompactResult",
+            "MetricsRegistry",
+            "Session",
+            "__version__",
+            "collect_wpp",
+            "compact",
+            "query",
+            "run_program",
+            "stats",
+            "trace",
+        ]
+        assert callable(repro.trace)
+        assert callable(repro.compact)
+        assert callable(repro.query)
+        assert callable(repro.stats)
+
+    def test_facade_verbs_are_api_objects(self):
+        import repro
+        import repro.api as api
+
+        assert repro.Session is api.Session
+        assert repro.CompactResult is api.CompactResult
+        assert repro.trace is api.trace
+        assert repro.compact is api.compact
+
+    def test_deprecated_aliases_warn(self):
+        import warnings
+
+        import repro
+        from repro.workloads import figure1_program
+
+        program = figure1_program()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            repro.collect_wpp(program)
+            repro.run_program(program)
+        assert sum(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        ) == 2
+
+    def test_submodule_imports_unshadowed(self):
+        """repro.trace/repro.compact the *verbs* must not break the
+        subpackages of the same names when imported the usual ways."""
+        module = importlib.import_module("repro.trace")
+        assert hasattr(module, "collect_wpp")
+        module = importlib.import_module("repro.compact")
+        assert hasattr(module, "compact_wpp")
+        from repro.compact import compact_wpp  # noqa: F401
+        from repro.trace import partition_wpp  # noqa: F401
 
     def test_version(self):
         import repro
