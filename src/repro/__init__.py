@@ -24,8 +24,9 @@ Subpackages
 ``repro.compact``
     The paper's core contribution: redundant-trace elimination, dynamic
     basic block dictionaries, the timestamped WPP (TWPP), arithmetic
-    series compaction, LZW, the indexed ``.twpp`` file format, and the
-    parallel sharded compaction engine.
+    series compaction, LZW, the indexed ``.twpp`` file format, the
+    parallel sharded compaction engine, and the cached mmap-backed
+    query-serving engine (``repro.compact.qserve``).
 ``repro.obs``
     Observability: the metrics registry (stage timers, counters, byte
     histograms) threaded through the pipeline.
@@ -44,7 +45,7 @@ Subpackages
 
 import warnings as _warnings
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .api import CompactResult, Session, compact, query, stats, trace
 from .interp import run_program as _run_program

@@ -34,8 +34,19 @@ from .facts import (
     classify_statements,
     has_calls,
 )
-from .frequency import FactFrequency, FrequencyReport, fact_frequencies
-from .hotpaths import HotPath, PathProfile, acyclic_paths, path_profile
+from .frequency import (
+    FactFrequency,
+    FrequencyReport,
+    fact_frequencies,
+    fact_frequencies_many,
+)
+from .hotpaths import (
+    HotPath,
+    PathProfile,
+    acyclic_paths,
+    path_profile,
+    path_profile_compacted,
+)
 from .interproc import ActivationAnalysis, activation_effects, analyze_activation
 from .interproc_paths import (
     InterproceduralEngine,
@@ -90,6 +101,7 @@ __all__ = [
     "coverage_report",
     "determine_currency",
     "fact_frequencies",
+    "fact_frequencies_many",
     "find_load",
     "flowgraph_stats",
     "has_calls",
@@ -97,6 +109,7 @@ __all__ = [
     "last_definition_before",
     "load_redundancy",
     "path_profile",
+    "path_profile_compacted",
     "placements_from_motion",
     "redundancy_by_block",
     "uniform_effects",

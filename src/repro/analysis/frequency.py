@@ -10,8 +10,9 @@ the batch API: evaluate one fact at every executed block of a trace
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..ir.module import Function
 from .dyncfg import TimestampedCfg
@@ -104,3 +105,34 @@ def fact_frequencies(
     return FrequencyReport(
         fact=fact, entries=entries, total_queries=total_queries
     )
+
+
+#: One unit of batch work: (function, trace, fact) or
+#: (function, trace, fact, blocks).
+FrequencyTask = Tuple
+
+
+def fact_frequencies_many(
+    tasks: Sequence[FrequencyTask],
+    threads: Optional[int] = None,
+) -> List[FrequencyReport]:
+    """Batch :func:`fact_frequencies` over many (function, trace, fact)
+    tasks, preserving input order.
+
+    This is the multi-function analysis pass a profile server runs
+    after a batch :meth:`~repro.compact.qserve.QueryEngine.traces_many`
+    pull: with ``threads > 1`` the per-task engines are fanned across a
+    thread pool (each task builds its own demand-driven engine, so
+    tasks share nothing and any interleaving yields identical reports).
+    """
+    items = [tuple(task) for task in tasks]
+
+    def run(item: FrequencyTask) -> FrequencyReport:
+        func, trace, fact = item[:3]
+        blocks = item[3] if len(item) > 3 else None
+        return fact_frequencies(func, trace, fact, blocks=blocks)
+
+    if threads is not None and threads > 1 and len(items) > 1:
+        with ThreadPoolExecutor(max_workers=min(threads, len(items))) as pool:
+            return list(pool.map(run, items))
+    return [run(item) for item in items]

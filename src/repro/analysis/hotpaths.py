@@ -19,12 +19,15 @@ these are ground truth for the recorded run).
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..trace.partition import PartitionedWpp
 
 Path = Tuple[int, ...]
+PathLike = Union[str, "os.PathLike[str]"]
 
 
 def acyclic_paths(trace: Sequence[int]) -> List[Path]:
@@ -140,3 +143,62 @@ def path_profile(partitioned: PartitionedWpp) -> PathProfile:
             key = (name, path)
             profile.counts[key] = profile.counts.get(key, 0) + weight
     return profile
+
+
+def path_profile_compacted(
+    source: Union["PathLike", "object"],
+    threads: Optional[int] = None,
+) -> PathProfile:
+    """Recover the path profile straight from a ``.twpp`` file.
+
+    ``source`` is a ``.twpp`` path or an already-open
+    :class:`~repro.compact.qserve.QueryEngine` (reused warm, not
+    closed).  The DCG supplies per-pair activation weights; each
+    function's sections are then pulled through the engine -- fanned
+    across its thread pool when ``threads`` (default: the engine's
+    pool size) allows -- decomposed into acyclic subpaths, and merged.
+    Produces exactly the same profile as :func:`path_profile` over the
+    partitioned form.
+    """
+    from ..compact.qserve import QueryEngine
+
+    if isinstance(source, QueryEngine):
+        engine, own = source, False
+    else:
+        engine, own = QueryEngine(source), True
+    try:
+        dcg = engine.dcg()
+        # Activation count per (function index, pair id).
+        per_func: Dict[int, Dict[int, int]] = {}
+        for func_idx, pair_id in zip(dcg.node_func, dcg.node_trace):
+            weights = per_func.setdefault(func_idx, {})
+            weights[pair_id] = weights.get(pair_id, 0) + 1
+
+        def decompose(item: Tuple[int, Dict[int, int]]) -> Dict:
+            func_idx, weights = item
+            name = engine.name_of_original_index(func_idx)
+            fc = engine.extract(name)
+            counts: Dict[Tuple[str, Path], int] = {}
+            for pair_id, weight in weights.items():
+                for path in acyclic_paths(fc.expand_pair(pair_id)):
+                    key = (name, path)
+                    counts[key] = counts.get(key, 0) + weight
+            return counts
+
+        items = sorted(per_func.items())
+        n_threads = engine.threads if threads is None else threads
+        if n_threads > 1 and len(items) > 1:
+            workers = min(n_threads, len(items))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                partials = list(pool.map(decompose, items))
+        else:
+            partials = [decompose(item) for item in items]
+
+        profile = PathProfile()
+        for counts in partials:
+            for key, weight in counts.items():
+                profile.counts[key] = profile.counts.get(key, 0) + weight
+        return profile
+    finally:
+        if own:
+            engine.close()

@@ -12,30 +12,35 @@ module fronts them with a single coherent surface:
 >>> repro.stats(wpp).overall_factor               # Table 1-3 accounting
 
 Each top-level verb builds a throwaway :class:`Session`; construct one
-yourself to share defaults (worker count) and accumulate metrics across
-calls:
+yourself to share defaults (worker count, cache budget) and accumulate
+metrics across calls:
 
->>> s = repro.Session(jobs=4)
+>>> s = repro.Session(jobs=4, cache_bytes=64 << 20)
 >>> s.compact(s.trace(program)).save("run.twpp")
->>> s.metrics.to_json()                           # stage timers etc.
+>>> s.query("run.twpp", "main")                   # cold: opens an engine
+>>> s.query("run.twpp", "main")                   # warm: cache hit
+>>> s.query("run.twpp", names=["f", "g"])         # batch, thread fan-out
+>>> s.metrics.to_json()                           # stage timers, cache hits
 
 Inputs are polymorphic the way a CLI is: ``trace`` accepts a
 :class:`~repro.ir.module.Program` or a path to textual IR; ``compact``
 and ``stats`` accept a :class:`~repro.trace.wpp.WppTrace`, an
 already-partitioned WPP, or a ``.wpp`` path; ``query`` accepts a
-``.twpp`` path (indexed, reads one section), a ``.wpp`` path (linear
-scan baseline) or an in-memory :class:`CompactedWpp`.
+``.twpp`` path (served by a per-file cached
+:class:`~repro.compact.qserve.QueryEngine` the session keeps warm), a
+``.wpp`` path (linear scan baseline) or an in-memory
+:class:`CompactedWpp`.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .compact.format import read_twpp, write_twpp
 from .compact.pipeline import CompactedWpp, CompactionStats, compact_wpp
-from .compact.query import extract_function_traces
+from .compact.qserve import DEFAULT_CACHE_BYTES, QueryEngine
 from .ir.module import Program
 from .obs import MetricsRegistry
 from .trace.format import read_wpp, scan_function_traces, write_wpp
@@ -84,16 +89,40 @@ class Session:
     ``jobs`` is the default worker count for compaction (1 = serial,
     0/None = one per CPU); ``metrics`` is the
     :class:`~repro.obs.MetricsRegistry` every stage reports into (a
-    fresh one is created when not supplied).
+    fresh one is created when not supplied).  ``cache_bytes`` budgets
+    each query engine's decoded-record LRU (0 disables caching) and
+    ``threads`` sizes batch-query fan-out (None/0 = auto).  Engines are
+    created lazily, one per queried ``.twpp`` path, and reused for the
+    session's lifetime so repeat queries are served warm; ``close()``
+    (or using the session as a context manager) releases them.
     """
 
     def __init__(
         self,
         jobs: int = 1,
         metrics: Optional[MetricsRegistry] = None,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        threads: Optional[int] = None,
     ) -> None:
         self.jobs = jobs
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache_bytes = cache_bytes
+        self.threads = threads
+        self._engines: Dict[str, QueryEngine] = {}
+
+    # ---- lifecycle ----------------------------------------------------
+
+    def close(self) -> None:
+        """Close every query engine the session opened."""
+        engines, self._engines = list(self._engines.values()), {}
+        for engine in engines:
+            engine.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ---- verbs --------------------------------------------------------
 
@@ -132,30 +161,87 @@ class Session:
         )
         return CompactResult(compacted=compacted, stats=stats, session=self)
 
-    def query(self, twpp: TwppSource, func: str) -> List[PathTrace]:
-        """One function's path traces from a compacted WPP or trace file.
+    def engine(self, twpp: PathLike) -> QueryEngine:
+        """The session's cached query engine for one ``.twpp`` path.
 
-        A ``.twpp`` path uses the indexed read (header + one section);
-        an in-memory :class:`CompactedWpp` reads its tables directly; a
+        Created on first use with the session's ``cache_bytes`` /
+        ``threads`` defaults and reused afterwards, so repeated queries
+        against the same file share one mmap and one warm cache.
+        """
+        key = os.fspath(twpp)
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = QueryEngine(
+                twpp,
+                cache_bytes=self.cache_bytes,
+                threads=self.threads,
+                metrics=self.metrics,
+            )
+            self._engines[key] = engine
+        return engine
+
+    def query(
+        self,
+        twpp: TwppSource,
+        func: Optional[Union[str, Sequence[str]]] = None,
+        *,
+        names: Optional[Sequence[str]] = None,
+    ):
+        """Path traces from a compacted WPP or trace file.
+
+        ``func`` may be one function name (returns its trace list) or a
+        sequence of names -- equivalently passed as ``names=[...]`` --
+        which returns an ordered ``{name: traces}`` dict, fanned across
+        the engine's thread pool for ``.twpp`` inputs.
+
+        A ``.twpp`` path is served by the session's cached
+        :class:`QueryEngine` (first query cold, repeats warm); an
+        in-memory :class:`CompactedWpp` reads its tables directly; a
         ``.wpp`` path falls back to the linear scan baseline.
         """
+        if names is not None:
+            if func is not None:
+                raise TypeError("pass either func or names=, not both")
+            batch: Optional[List[str]] = list(names)
+        elif isinstance(func, (list, tuple)):
+            batch = list(func)
+        elif func is None:
+            raise TypeError("query() needs a function name or names=[...]")
+        else:
+            batch = None
+
+        if batch is not None:
+            self.metrics.inc("query.calls", len(batch))
+            return self._query_many(twpp, batch)
+        self.metrics.inc("query.calls")
+        return self._query_one(twpp, func)
+
+    def _query_one(self, twpp: TwppSource, func: str) -> List[PathTrace]:
         if isinstance(twpp, CompactedWpp):
             fc = twpp.function(func)
             return [fc.expand_pair(p) for p in range(len(fc.pairs))]
         with self.metrics.timer("query"):
             magic = _sniff_magic(twpp)
             if magic == b"WPP1":
-                traces = scan_function_traces(twpp, func)
-            elif magic == b"SQWP":
+                return scan_function_traces(twpp, func)
+            if magic == b"SQWP":
                 from .sequitur.wpp_codec import (
                     extract_function_traces_sequitur,
                 )
 
-                traces = extract_function_traces_sequitur(twpp, func)
-            else:
-                traces = extract_function_traces(twpp, func)
-        self.metrics.inc("query.calls")
-        return traces
+                return extract_function_traces_sequitur(twpp, func)
+            return self.engine(twpp).traces(func)
+
+    def _query_many(
+        self, twpp: TwppSource, names: List[str]
+    ) -> Dict[str, List[PathTrace]]:
+        if isinstance(twpp, CompactedWpp):
+            return {name: self._query_one(twpp, name) for name in names}
+        with self.metrics.timer("query"):
+            magic = _sniff_magic(twpp)
+            if magic == b"TWPP":
+                return self.engine(twpp).traces_many(names)
+        return {name: self._query_one(twpp, name) for name in names}
 
     def stats(
         self, wpp: WppSource, jobs: Optional[int] = None
@@ -217,9 +303,21 @@ def compact(
     return Session(jobs=jobs, metrics=metrics).compact(wpp)
 
 
-def query(twpp: TwppSource, func: str) -> List[PathTrace]:
-    """Extract one function's path traces from a compacted (or raw) WPP."""
-    return Session().query(twpp, func)
+def query(
+    twpp: TwppSource,
+    func: Optional[Union[str, Sequence[str]]] = None,
+    *,
+    names: Optional[Sequence[str]] = None,
+):
+    """Extract path traces from a compacted (or raw) WPP.
+
+    One name returns its trace list; a sequence (or ``names=[...]``)
+    returns an ordered ``{name: traces}`` dict.  Each call builds a
+    throwaway :class:`Session`; hold one yourself (or a
+    :class:`~repro.compact.qserve.QueryEngine`) to serve repeats warm.
+    """
+    with Session() as session:
+        return session.query(twpp, func, names=names)
 
 
 def stats(

@@ -9,6 +9,7 @@ Usage (also via ``python -m repro``)::
     repro-wpp sequitur run.wpp -o run.sqwp           # Larus baseline
     repro-wpp info run.twpp                          # header/summary
     repro-wpp query run.twpp some_function           # per-function traces
+    repro-wpp query run.twpp f g h --threads 4       # cached batch query
     repro-wpp stats run.wpp                          # stage size report
     repro-wpp check run.twpp --program prog.ir       # integrity fsck
     repro-wpp diff good.twpp bad.twpp                # behavioural run diff
@@ -154,45 +155,40 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    from .api import Session
+
     path = Path(args.file)
-    magic = path.open("rb").read(4)
+    with path.open("rb") as fh:
+        magic = fh.read(4)
     if magic == b"TWPP":
-        from .compact.query import extract_function_traces
-
-        traces = extract_function_traces(path, args.function)
         label = "unique path traces"
-    elif magic == b"WPP1":
-        from .trace.format import scan_function_traces
-
-        traces = scan_function_traces(path, args.function)
-        label = "path traces (one per activation)"
-    elif magic == b"SQWP":
-        from .sequitur.wpp_codec import extract_function_traces_sequitur
-
-        traces = extract_function_traces_sequitur(path, args.function)
+    elif magic in (b"WPP1", b"SQWP"):
         label = "path traces (one per activation)"
     else:
         print(f"{path}: unknown format", file=sys.stderr)
         return 2
-    print(f"{args.function}: {len(traces)} {label}")
-    limit = args.limit if args.limit > 0 else len(traces)
-    for trace in traces[:limit]:
-        print("  " + ".".join(map(str, trace)))
-    if len(traces) > limit:
-        print(f"  ... ({len(traces) - limit} more)")
+
+    with Session(cache_bytes=args.cache_bytes, threads=args.threads) as s:
+        results = s.query(path, names=args.functions)
+    for name, traces in results.items():
+        print(f"{name}: {len(traces)} {label}")
+        limit = args.limit if args.limit > 0 else len(traces)
+        for trace in traces[:limit]:
+            print("  " + ".".join(map(str, trace)))
+        if len(traces) > limit:
+            print(f"  ... ({len(traces) - limit} more)")
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    from .compact.pipeline import compact_wpp
-    from .obs import MetricsRegistry
+    from .api import Session
     from .trace.format import read_wpp
-    from .trace.partition import partition_wpp
 
-    metrics = MetricsRegistry()
+    session = Session(jobs=args.jobs)
+    metrics = session.metrics
     wpp = read_wpp(args.wpp)
-    part = partition_wpp(wpp, metrics=metrics)
-    _compacted, stats = compact_wpp(part, jobs=args.jobs, metrics=metrics)
+    part = session.partition(wpp)
+    stats = session.stats(part)
     kb = 1024
     print(f"events            : {len(wpp)}")
     print(f"activations       : {sum(part.call_counts().values())}")
@@ -287,6 +283,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree (exposed for tests and docs)."""
+    from .compact.qserve import DEFAULT_CACHE_BYTES
+
     parser = argparse.ArgumentParser(
         prog="repro-wpp",
         description="Timestamped Whole Program Path toolkit (PLDI 2001 reproduction)",
@@ -327,11 +325,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.set_defaults(func=_cmd_info)
 
-    p = sub.add_parser("query", help="extract one function's path traces")
+    p = sub.add_parser(
+        "query", help="extract one or more functions' path traces"
+    )
     p.add_argument("file", help=".wpp, .twpp or .sqwp file")
-    p.add_argument("function")
+    p.add_argument("functions", nargs="+", metavar="function",
+                   help="function name(s); several fan out as one batch")
     p.add_argument("--limit", type=int, default=10,
-                   help="max traces to print (0 = all)")
+                   help="max traces to print per function (0 = all)")
+    p.add_argument("--cache-bytes", type=int, default=DEFAULT_CACHE_BYTES,
+                   help="decoded-record LRU cache budget in bytes for "
+                        ".twpp serving (0 disables caching; default 64 MiB)")
+    p.add_argument("--threads", type=int, default=0,
+                   help="worker threads for batch .twpp queries "
+                        "(0 = auto, 1 = serial)")
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("stats", help="compaction stage report for a .wpp")

@@ -54,6 +54,15 @@ from .pipeline import (
     dictionary_bytes,
     twpp_bytes,
 )
+from .qserve import (
+    DEFAULT_CACHE_BYTES,
+    LruByteCache,
+    MmapSource,
+    PooledFileSource,
+    QueryEngine,
+    open_source,
+    resolve_threads,
+)
 from .query import (
     TwppReader,
     extract_function_record,
@@ -73,12 +82,17 @@ from .verify import IntegrityError, verify_compacted
 __all__ = [
     "CompactedWpp",
     "CompactionStats",
+    "DEFAULT_CACHE_BYTES",
     "DbbDictionary",
     "FunctionCompact",
     "FunctionCompactResult",
     "FunctionDelta",
     "FunctionIndexEntry",
     "IntegrityError",
+    "LruByteCache",
+    "MmapSource",
+    "PooledFileSource",
+    "QueryEngine",
     "TwppDelta",
     "TwppHeader",
     "TwppPathTrace",
@@ -103,10 +117,12 @@ __all__ = [
     "iter_entries",
     "lzw_compress",
     "lzw_decompress",
+    "open_source",
     "plan_shards",
     "read_header",
     "read_twpp",
     "resolve_jobs",
+    "resolve_threads",
     "serialize_twpp",
     "series_contains",
     "series_len",

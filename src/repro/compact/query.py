@@ -3,9 +3,12 @@
 The paper's motivating usage pattern is "a series of requests for
 profile data for individual functions"; this module is that request
 path.  :class:`TwppReader` parses the header once and answers each
-function query by seeking directly to its section, and the module-level
+function query from the file directly -- no caching, so the module-level
 :func:`extract_function_traces` measures the full cold-query cost (open
-+ header + one section) that Table 4's column C times.
++ header + one section) that Table 4's column C times.  Long-lived
+servers should hold a :class:`~repro.compact.qserve.QueryEngine`
+instead (the cached, concurrent read stack); the cold helpers accept
+one via ``engine=`` so call sites can opt in without changing shape.
 """
 
 from __future__ import annotations
@@ -13,14 +16,9 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional, Tuple, Union
 
-from .dbb import expand_trace
-from .format import (
-    FunctionIndexEntry,
-    TwppHeader,
-    _parse_section,
-    read_header,
-)
+from .format import FunctionIndexEntry, TwppHeader, _parse_section
 from .pipeline import FunctionCompact
+from .qserve import QueryEngine, SectionSource, open_source
 
 PathLike = Union[str, "os.PathLike[str]"]
 PathTrace = Tuple[int, ...]
@@ -29,19 +27,23 @@ PathTrace = Tuple[int, ...]
 class TwppReader:
     """Random-access reader over one ``.twpp`` file.
 
-    Keeps the file handle and parsed header; each query performs one
-    seek plus one bounded read.  Usable as a context manager.
+    Backed by a :mod:`~repro.compact.qserve` section source: a single
+    read-only mmap by default (zero-copy section slices, safe to share
+    across threads), or a pooled seek-and-read source with
+    ``use_mmap=False``.  The header is parsed once at construction; a
+    corrupt header closes the underlying handle instead of leaking it.
+    Usable as a context manager.
     """
 
-    def __init__(self, path: PathLike):
-        self._fh = open(path, "rb")
-        self._header: TwppHeader = read_header(self._fh)
+    def __init__(self, path: PathLike, use_mmap: bool = True):
+        self._source: SectionSource = open_source(path, use_mmap=use_mmap)
+        self._header: TwppHeader = self._source.header
         self._by_name: Dict[str, FunctionIndexEntry] = {
             e.name: e for e in self._header.entries
         }
 
     def close(self) -> None:
-        self._fh.close()
+        self._source.close()
 
     def __enter__(self) -> "TwppReader":
         return self
@@ -60,11 +62,12 @@ class TwppReader:
     def extract(self, name: str) -> FunctionCompact:
         """Read and parse one function's section."""
         entry = self._entry(name)
-        self._fh.seek(self._header.sections_base + entry.offset)
-        data = self._fh.read(entry.length)
-        if len(data) != entry.length:
-            raise ValueError(f"truncated section for {name!r}")
-        return _parse_section(data, entry.name, entry.call_count)
+        data = self._source.read_section(entry)
+        try:
+            return _parse_section(data, entry.name, entry.call_count)
+        finally:
+            if isinstance(data, memoryview):
+                data.release()
 
     def unique_path_traces(self, name: str) -> List[PathTrace]:
         """The function's unique *original* path traces (DBBs expanded)."""
@@ -78,18 +81,32 @@ class TwppReader:
             raise KeyError(f"function {name!r} not in .twpp file") from None
 
 
-def extract_function_traces(path: PathLike, name: str) -> List[PathTrace]:
+def extract_function_traces(
+    path: PathLike, name: str, engine: Optional[QueryEngine] = None
+) -> List[PathTrace]:
     """Cold extraction of one function's unique path traces.
 
     Opens the file, reads the header and the one relevant section.
     This is the compacted-side operation of the paper's access-time
-    study (Table 4, column C; Table 5, TWPP extraction time).
+    study (Table 4, column C; Table 5, TWPP extraction time).  Pass a
+    warm :class:`~repro.compact.qserve.QueryEngine` via ``engine=`` to
+    serve the request from its cache instead (``path`` is then ignored).
     """
+    if engine is not None:
+        return engine.traces(name)
     with TwppReader(path) as reader:
         return reader.unique_path_traces(name)
 
 
-def extract_function_record(path: PathLike, name: str) -> FunctionCompact:
-    """Cold extraction of one function's full compacted record."""
+def extract_function_record(
+    path: PathLike, name: str, engine: Optional[QueryEngine] = None
+) -> FunctionCompact:
+    """Cold extraction of one function's full compacted record.
+
+    ``engine=`` routes the request through a warm cached engine, as in
+    :func:`extract_function_traces`.
+    """
+    if engine is not None:
+        return engine.extract(name)
     with TwppReader(path) as reader:
         return reader.extract(name)

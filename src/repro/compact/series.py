@@ -114,9 +114,19 @@ def series_len(stream: Sequence[int]) -> int:
 
 
 def series_contains(stream: Sequence[int], value: int) -> bool:
-    """Membership test without expansion."""
+    """Membership test without expansion.
+
+    Each entry is decided with O(1) arithmetic -- ``value`` lies in the
+    series ``lo : hi : step`` iff ``lo <= value <= hi`` and ``value``
+    is congruent to ``lo`` modulo ``step`` -- so no run is ever
+    expanded.  Streams produced by :func:`compress_series` encode a
+    strictly increasing sequence, so entries appear in ascending order
+    and the scan stops at the first entry starting past ``value``.
+    """
     for lo, hi, step in iter_entries(stream):
-        if lo <= value <= hi and (value - lo) % step == 0:
+        if value < lo:
+            return False
+        if value <= hi and (value - lo) % step == 0:
             return True
     return False
 

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.analysis import LoadAvailable, fact_frequencies
+from repro.analysis import (
+    LoadAvailable,
+    fact_frequencies,
+    fact_frequencies_many,
+)
 from repro.trace import collect_wpp, partition_wpp
 from repro.workloads import figure9_program
 
@@ -68,3 +72,31 @@ class TestFigure9Frequencies:
                 entry.holds + entry.fails + entry.unresolved
                 == entry.executions
             )
+
+
+class TestBatchFanout:
+    """fact_frequencies_many: serial and threaded runs agree exactly."""
+
+    def _tasks(self, figure9):
+        func, trace = figure9
+        return [
+            (func, trace, LoadAvailable(100)),
+            (func, trace, LoadAvailable(555), [4]),
+            (func, trace, LoadAvailable(100), [4, 7]),
+        ]
+
+    def test_matches_single_calls(self, figure9):
+        tasks = self._tasks(figure9)
+        reports = fact_frequencies_many(tasks)
+        assert len(reports) == len(tasks)
+        for task, report in zip(tasks, reports):
+            blocks = task[3] if len(task) > 3 else None
+            direct = fact_frequencies(task[0], task[1], task[2], blocks=blocks)
+            assert report.entries == direct.entries
+            assert report.total_queries == direct.total_queries
+
+    def test_threaded_matches_serial(self, figure9):
+        tasks = self._tasks(figure9) * 3
+        serial = fact_frequencies_many(tasks, threads=1)
+        threaded = fact_frequencies_many(tasks, threads=4)
+        assert [r.entries for r in serial] == [r.entries for r in threaded]

@@ -4,7 +4,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis import PathProfile, acyclic_paths, path_profile
+from repro.analysis import (
+    PathProfile,
+    acyclic_paths,
+    path_profile,
+    path_profile_compacted,
+)
+from repro.compact import QueryEngine, compact_wpp, write_twpp
 from repro.trace import collect_wpp, partition_wpp
 from repro.workloads import figure1_program, figure9_program, workload
 
@@ -110,3 +116,37 @@ class TestPathProfile:
         (hot,) = profile.hot_paths(1)
         assert "f: 1.2" in str(hot)
         assert "x4" in str(hot)
+
+
+class TestCompactedProfile:
+    """path_profile_compacted serves the same profile from a .twpp file."""
+
+    @pytest.fixture
+    def twpp_and_partitioned(self, tmp_path, small_workload):
+        _program, _spec, wpp = small_workload
+        part = partition_wpp(wpp)
+        compacted, _stats = compact_wpp(part)
+        path = tmp_path / "w.twpp"
+        write_twpp(compacted, path)
+        return path, part
+
+    def test_matches_partitioned_profile(self, twpp_and_partitioned):
+        path, part = twpp_and_partitioned
+        reference = path_profile(part)
+        from_file = path_profile_compacted(path)
+        assert from_file.counts == reference.counts
+
+    def test_threaded_matches_serial(self, twpp_and_partitioned):
+        path, part = twpp_and_partitioned
+        reference = path_profile(part)
+        threaded = path_profile_compacted(path, threads=4)
+        assert threaded.counts == reference.counts
+
+    def test_reuses_an_open_engine(self, twpp_and_partitioned):
+        path, part = twpp_and_partitioned
+        with QueryEngine(path) as engine:
+            profile = path_profile_compacted(engine)
+            assert profile.counts == path_profile(part).counts
+            # Engine stays open and warm for further queries.
+            assert engine.traces(part.func_names[0]) is not None
+            assert engine.cache_stats()["entries"] > 0

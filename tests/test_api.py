@@ -91,6 +91,62 @@ class TestSessionVerbs:
         assert doc["schema"] == "repro.metrics/1"
 
 
+class TestSessionQueryEngine:
+    def test_engine_is_reused_per_path(self, session_and_artifacts):
+        session, _w, _r, _wp, twpp_path = session_and_artifacts
+        assert session.engine(twpp_path) is session.engine(twpp_path)
+
+    def test_repeat_queries_hit_the_cache(self, session_and_artifacts):
+        _s, _w, result, _wp, twpp_path = session_and_artifacts
+        session = Session()
+        first = session.query(twpp_path, "f")
+        second = session.query(twpp_path, "f")
+        assert first == second
+        assert session.metrics.counter("qserve.cache.hits") >= 1
+        session.close()
+
+    def test_batch_query_names(self, session_and_artifacts):
+        session, _w, result, _wp, twpp_path = session_and_artifacts
+        names = [fc.name for fc in result.compacted.functions]
+        out = session.query(twpp_path, names=names)
+        assert list(out) == names
+        for name in names:
+            assert out[name] == session.query(twpp_path, name)
+        # A list positional works the same way.
+        assert session.query(twpp_path, names) == out
+        # And agrees with the in-memory batch.
+        assert session.query(result.compacted, names=names) == out
+
+    def test_batch_query_on_raw_wpp(self, session_and_artifacts):
+        session, _w, result, wpp_path, _tp = session_and_artifacts
+        out = session.query(wpp_path, names=["f"])
+        assert set(out["f"]) == set(session.query(result.compacted, "f"))
+
+    def test_func_and_names_conflict(self, session_and_artifacts):
+        session, _w, _r, _wp, twpp_path = session_and_artifacts
+        with pytest.raises(TypeError):
+            session.query(twpp_path, "f", names=["f"])
+        with pytest.raises(TypeError):
+            session.query(twpp_path)
+
+    def test_close_releases_engines(self, session_and_artifacts):
+        _s, _w, _r, _wp, twpp_path = session_and_artifacts
+        with Session() as session:
+            engine = session.engine(twpp_path)
+            assert session.query(twpp_path, "f")
+        assert session._engines == {}
+        # Re-querying after close opens a fresh engine transparently.
+        assert session.engine(twpp_path) is not engine
+        session.close()
+
+    def test_cache_bytes_zero_disables_caching(self, session_and_artifacts):
+        _s, _w, _r, _wp, twpp_path = session_and_artifacts
+        with Session(cache_bytes=0) as session:
+            session.query(twpp_path, "f")
+            session.query(twpp_path, "f")
+            assert session.metrics.counter("qserve.cache.hits") == 0
+
+
 class TestTopLevelVerbs:
     def test_pipeline_via_module_functions(self, program, tmp_path):
         wpp = repro.trace(program)
@@ -99,6 +155,7 @@ class TestTopLevelVerbs:
         path = tmp_path / "run.twpp"
         assert result.save(path) == path.stat().st_size
         assert repro.query(path, "f")
+        assert repro.query(path, names=["f"])["f"] == repro.query(path, "f")
         assert repro.stats(wpp) == result.stats
 
     def test_all_exports_resolve(self):

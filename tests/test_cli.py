@@ -103,6 +103,59 @@ class TestQuery:
         }
         assert trace_lines[".wpp"] == trace_lines[".twpp"] == trace_lines[".sqwp"]
 
+    def test_batch_query_with_cache_and_threads(self, pipeline_files, capsys):
+        _ir, _wpp, twpp, _sqwp = pipeline_files
+        # Find two traced functions from info output.
+        assert main(["info", str(twpp)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        names = [
+            l.split(":")[0].strip()
+            for l in lines
+            if l.startswith("  ") and ":" in l
+        ][:2]
+        assert len(names) == 2
+        assert (
+            main(
+                [
+                    "query",
+                    str(twpp),
+                    *names,
+                    "--limit",
+                    "1",
+                    "--cache-bytes",
+                    str(1 << 20),
+                    "--threads",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        for name in names:
+            assert f"{name}: " in out
+
+    def test_batch_order_matches_request(self, pipeline_files, capsys):
+        _ir, _wpp, twpp, _sqwp = pipeline_files
+        assert main(["info", str(twpp)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        names = [
+            l.split(":")[0].strip()
+            for l in lines
+            if l.startswith("  ") and ":" in l
+        ][:2]
+        reordered = list(reversed(names))
+        assert main(["query", str(twpp), *reordered, "--limit", "0"]) == 0
+        out = capsys.readouterr().out
+        positions = [out.index(f"{n}: ") for n in reordered]
+        assert positions == sorted(positions)
+
+    def test_query_help_mentions_cache_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["query", "--help"])
+        out = capsys.readouterr().out
+        assert "--cache-bytes" in out and "--threads" in out
+        assert "LRU cache" in out
+
     def test_limit_truncates(self, pipeline_files, capsys):
         _ir, wpp, _twpp, _sqwp = pipeline_files
         # Find a hot function from info output.

@@ -1,8 +1,11 @@
 """Unit tests for the fast per-function query path over .twpp files."""
 
+import os
+
 import pytest
 
 from repro.compact import (
+    QueryEngine,
     TwppReader,
     compact_wpp,
     extract_function,
@@ -83,6 +86,64 @@ class TestColdQueries:
         name = compacted.functions[0].name
         fc = extract_function(twpp_path, name)
         assert fc.trace_table == compacted.function(name).trace_table
+
+
+def _open_fds():
+    return set(os.listdir("/proc/self/fd"))
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("/proc/self/fd"), reason="needs /proc fd accounting"
+)
+class TestCorruptHeader:
+    """A bad header must raise without leaking the open file handle."""
+
+    CASES = {
+        "bad-magic": b"XWPP" + b"\x00" * 16,
+        "overlong-varint": b"TWPP" + b"\xff" * 32,
+        "truncated-index": b"TWPP\x05\x03ab",
+    }
+
+    @pytest.mark.parametrize("use_mmap", [True, False])
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_reader_closes_handle_on_header_error(
+        self, tmp_path, case, use_mmap
+    ):
+        bad = tmp_path / f"{case}.twpp"
+        bad.write_bytes(self.CASES[case])
+        before = _open_fds()
+        with pytest.raises(ValueError):
+            TwppReader(bad, use_mmap=use_mmap)
+        assert _open_fds() == before
+
+    @pytest.mark.parametrize("use_mmap", [True, False])
+    def test_engine_closes_handle_on_header_error(self, tmp_path, use_mmap):
+        bad = tmp_path / "bad.twpp"
+        bad.write_bytes(self.CASES["overlong-varint"])
+        before = _open_fds()
+        with pytest.raises(ValueError):
+            QueryEngine(bad, use_mmap=use_mmap)
+        assert _open_fds() == before
+
+
+class TestEngineParameter:
+    """Cold helpers can be redirected through a warm engine."""
+
+    def test_traces_via_engine(self, files):
+        part, _c, twpp_path, _w = files
+        name = part.func_names[0]
+        with QueryEngine(twpp_path) as engine:
+            cold = extract_function_traces(twpp_path, name)
+            warm = extract_function_traces(twpp_path, name, engine=engine)
+            assert warm == cold
+            assert engine.cache_stats()["entries"] >= 1
+
+    def test_record_via_engine(self, files):
+        _p, compacted, twpp_path, _w = files
+        name = compacted.functions[0].name
+        with QueryEngine(twpp_path) as engine:
+            fc = extract_function_record(twpp_path, name, engine=engine)
+            assert fc.trace_table == compacted.function(name).trace_table
 
 
 class TestAgreementWithScan:

@@ -116,6 +116,29 @@ class TestProperties:
         stream = compress_series(ts)
         assert series_contains(stream, probe) == (probe in set(ts))
 
+    @given(timestamp_lists())
+    @settings(max_examples=200)
+    def test_contains_agrees_with_decompression_everywhere(self, ts):
+        """The O(1)-per-entry check is exhaustively equivalent to
+        expanding the stream with decompress_series."""
+        stream = compress_series(ts)
+        expanded = set(decompress_series(stream))
+        for probe in range(0, (max(ts) if ts else 0) + 3):
+            assert series_contains(stream, probe) == (probe in expanded)
+
+    def test_contains_stops_at_first_later_entry(self):
+        """Entries ascend, so a probe below the next entry's lo ends the
+        scan; stepping inside a run is decided arithmetically, never by
+        expanding the run."""
+        # Entries: 10:20:5 then 100:110 (step 1).
+        stream = [10, 20, -5, 100, -110]
+        assert series_contains(stream, 15)
+        assert not series_contains(stream, 12)  # in range, off-step
+        assert not series_contains(stream, 5)  # before every entry
+        assert not series_contains(stream, 50)  # between entries
+        assert series_contains(stream, 110)
+        assert not series_contains(stream, 111)
+
     @given(st.integers(1, 500), st.integers(1, 50), st.integers(2, 100))
     def test_perfect_series_costs_at_most_three(self, lo, step, count):
         ts = [lo + i * step for i in range(count)]
