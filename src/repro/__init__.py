@@ -47,7 +47,7 @@ import warnings as _warnings
 
 __version__ = "1.2.0"
 
-from .api import CompactResult, Session, compact, query, stats, trace
+from .api import CompactResult, Session, analyze, compact, query, stats, trace
 from .interp import run_program as _run_program
 from .obs import MetricsRegistry
 from .trace import collect_wpp as _collect_wpp
@@ -57,6 +57,7 @@ __all__ = [
     "MetricsRegistry",
     "Session",
     "__version__",
+    "analyze",
     "collect_wpp",
     "compact",
     "query",

@@ -33,6 +33,7 @@ from .facts import (
     VarHasDefinition,
     classify_statements,
     has_calls,
+    parse_fact,
 )
 from .frequency import (
     FactFrequency,
@@ -48,6 +49,7 @@ from .hotpaths import (
     path_profile_compacted,
 )
 from .interproc import ActivationAnalysis, activation_effects, analyze_activation
+from .parallel import analyze_tasks_parallel
 from .interproc_paths import (
     InterproceduralEngine,
     InterproceduralResult,
@@ -97,6 +99,7 @@ __all__ = [
     "activation_effects",
     "acyclic_paths",
     "analyze_activation",
+    "analyze_tasks_parallel",
     "classify_statements",
     "coverage_report",
     "determine_currency",
@@ -108,6 +111,7 @@ __all__ = [
     "interprocedural_query",
     "last_definition_before",
     "load_redundancy",
+    "parse_fact",
     "path_profile",
     "path_profile_compacted",
     "placements_from_motion",

@@ -13,14 +13,34 @@ never duplicate, so the analysis cost is bounded by the trace length.
 Timestamp vectors are manipulated *collectively* as compacted series
 (:mod:`repro.analysis.tsvector`), which is the efficiency point the
 paper makes with the ``(2:20:2) -> (1:19:2)`` example.
+
+The engine also **memoizes resolved propagation residues**: the verdict
+of a query at position ``t`` ("does the fact hold immediately before
+``t``?") depends only on the trace and the fact, never on which origin
+asked, so once any traversal resolves a bundle of positions their
+holds/fails/unresolved classification is cached per node and every
+later query -- same origin or an overlapping one -- peels the known
+positions off its vector before propagating the rest.  Repeated and
+overlapping queries therefore cost series intersections instead of
+fresh backward walks; :meth:`DemandDrivenEngine.query_many` leans on
+this to share traversals across a whole batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..ir.module import Function
+from ..obs import MetricsRegistry
 from .dyncfg import TimestampedCfg
 from .facts import GEN, KILL, TRANSPARENT, Fact, classify_statements
 from .tsvector import TimestampSet
@@ -28,6 +48,12 @@ from .tsvector import TimestampSet
 #: Effect callback: given a node and the timestamps being examined at
 #: it, split them into (generated, killed, transparent) subsets.
 EffectFn = Callable[[int, TimestampSet], Tuple[TimestampSet, TimestampSet, TimestampSet]]
+
+#: One batch request: a node id, or ``(node, timestamp set)``.
+QueryRequest = Union[int, Tuple[int, Optional[TimestampSet]]]
+
+#: Per-node memo record: (holds, fails, unresolved) position subsets.
+_MemoEntry = Tuple[TimestampSet, TimestampSet, TimestampSet]
 
 
 @dataclass
@@ -45,6 +71,9 @@ class QueryResult:
     fails: TimestampSet = field(default_factory=TimestampSet)
     unresolved: TimestampSet = field(default_factory=TimestampSet)
     queries_issued: int = 0
+    #: Requested instances whose verdict came from the engine's memo of
+    #: previously resolved traversals rather than fresh propagation.
+    memo_hits: int = 0
 
     @property
     def always_holds(self) -> bool:
@@ -53,8 +82,12 @@ class QueryResult:
 
     @property
     def never_holds(self) -> bool:
-        """Fact holds at no requested instance."""
-        return not self.holds
+        """Fact holds at no requested instance.
+
+        An *empty* request carries no evidence either way, so it is
+        neither ``always_holds`` nor ``never_holds``.
+        """
+        return bool(self.requested) and not self.holds
 
     @property
     def frequency(self) -> float:
@@ -76,11 +109,29 @@ class QueryResult:
 
 
 class DemandDrivenEngine:
-    """Backward GEN-KILL query evaluator over one timestamped dynamic CFG."""
+    """Backward GEN-KILL query evaluator over one timestamped dynamic CFG.
 
-    def __init__(self, cfg: TimestampedCfg, effect: EffectFn):
+    ``memoize=True`` (the default) keeps a per-node cache of resolved
+    propagation residues that is shared by every query issued through
+    this engine -- the fact is fixed per engine, so the cache key is
+    effectively ``(node, fact)``.  Pass ``memoize=False`` for the
+    stateless behaviour (every query walks the trace from scratch).
+    ``metrics`` (a :class:`~repro.obs.MetricsRegistry`) receives the
+    ``analysis.engine.*`` counters described in ``docs/FORMATS.md``.
+    """
+
+    def __init__(
+        self,
+        cfg: TimestampedCfg,
+        effect: EffectFn,
+        memoize: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.cfg = cfg
         self.effect = effect
+        self.memoize = memoize
+        self.metrics = metrics
+        self._memo: Dict[int, _MemoEntry] = {}
 
     @classmethod
     def for_function_trace(
@@ -89,6 +140,8 @@ class DemandDrivenEngine:
         trace: Sequence[int],
         fact: Fact,
         effect_overrides: Optional[Dict[int, str]] = None,
+        memoize: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> "DemandDrivenEngine":
         """Engine for an intraprocedural path trace of ``func``.
 
@@ -108,7 +161,82 @@ class DemandDrivenEngine:
                 classes[block_id] = classify_statements(
                     func.block(block_id).statements, fact
                 )
-        return cls(cfg, uniform_effects(classes))
+        return cls(
+            cfg, uniform_effects(classes), memoize=memoize, metrics=metrics
+        )
+
+    # ---- memo ----------------------------------------------------------
+
+    def memo_stats(self) -> Dict[str, int]:
+        """Cache accounting: nodes cached and positions resolved."""
+        return {
+            "nodes": len(self._memo),
+            "positions": sum(
+                len(h) + len(f) + len(u) for h, f, u in self._memo.values()
+            ),
+        }
+
+    def clear_memo(self) -> None:
+        """Drop every cached residue (used by invalidation tests)."""
+        self._memo.clear()
+
+    def _consult_memo(
+        self, node: int, current: TimestampSet, offset: int, result: QueryResult
+    ) -> TimestampSet:
+        """Peel memo-known positions off ``current`` into ``result``.
+
+        Returns the residue that still needs propagation.
+        """
+        entry = self._memo.get(node)
+        if entry is None:
+            return current
+        known_holds, known_fails, known_unres = entry
+        hits = 0
+        h = current.intersect(known_holds)
+        if h:
+            result.holds = result.holds.union(h.shift(offset))
+            current = current.subtract(h)
+            hits += len(h)
+        f = current.intersect(known_fails)
+        if f:
+            result.fails = result.fails.union(f.shift(offset))
+            current = current.subtract(f)
+            hits += len(f)
+        u = current.intersect(known_unres)
+        if u:
+            result.unresolved = result.unresolved.union(u.shift(offset))
+            current = current.subtract(u)
+            hits += len(u)
+        result.memo_hits += hits
+        return current
+
+    def _fold_trail(
+        self,
+        trail: List[Tuple[int, TimestampSet, int]],
+        result: QueryResult,
+    ) -> None:
+        """Record every propagated residue's final verdict in the memo.
+
+        A trail item ``(n, S, k)`` means: the verdict of querying node
+        ``n`` at positions ``S`` equals the verdict of the origin
+        instances ``S + k`` -- so the finished result classifies them.
+        """
+        for node, instances, offset in trail:
+            h = instances.intersect(result.holds.shift(-offset))
+            f = instances.intersect(result.fails.shift(-offset))
+            u = instances.intersect(result.unresolved.shift(-offset))
+            entry = self._memo.get(node)
+            if entry is None:
+                self._memo[node] = (h, f, u)
+            else:
+                known_holds, known_fails, known_unres = entry
+                self._memo[node] = (
+                    known_holds.union(h),
+                    known_fails.union(f),
+                    known_unres.union(u),
+                )
+
+    # ---- queries -------------------------------------------------------
 
     def query(
         self,
@@ -120,12 +248,15 @@ class DemandDrivenEngine:
 
         When ``log`` is a list, every propagated query ``<T', m>`` is
         appended to it as ``(m, T')`` -- the exact vectors the paper's
-        Figure 9 displays.
+        Figure 9 displays.  Memoized positions resolve before
+        propagation, so a repeated query logs nothing new.
         """
         requested = self.cfg.ts(node) if ts is None else ts
         result = QueryResult(origin_node=node, requested=requested)
         if not requested:
             return result
+        memoize = self.memoize
+        trail: List[Tuple[int, TimestampSet, int]] = []
 
         # Work items: (node, timestamps in current coords, offset back to
         # origin coords).  Each propagated item is one "query" in the
@@ -133,6 +264,11 @@ class DemandDrivenEngine:
         work: List[Tuple[int, TimestampSet, int]] = [(node, requested, 0)]
         while work:
             n, current, offset = work.pop()
+            if memoize:
+                current = self._consult_memo(n, current, offset, result)
+                if not current:
+                    continue
+                trail.append((n, current, offset))
             # Instances at trace position 1 have no predecessor: the
             # query reaches the start of the path trace unresolved.
             at_start = current.intersect(TimestampSet.single(1))
@@ -158,8 +294,39 @@ class DemandDrivenEngine:
                 if trans_ts:
                     work.append((m, trans_ts, offset + 1))
 
+        if memoize and trail:
+            self._fold_trail(trail, result)
         result.check_conservation()
+        if self.metrics is not None:
+            self.metrics.inc("analysis.engine.queries")
+            self.metrics.inc(
+                "analysis.engine.propagated", result.queries_issued
+            )
+            self.metrics.inc("analysis.engine.memo_hits", result.memo_hits)
         return result
+
+    def query_many(
+        self, requests: Sequence[QueryRequest]
+    ) -> List[QueryResult]:
+        """Evaluate a batch of queries, sharing backward traversals.
+
+        Each request is a node id or a ``(node, timestamp set)`` pair
+        (``None`` timestamps mean all of the node's instances).  Results
+        come back in request order and are set-identical to issuing the
+        queries one at a time on a fresh engine; the shared residue memo
+        means queries whose timestamp vectors overlap -- including the
+        all-blocks sweep of a frequency analysis, where every traversal
+        crosses other blocks' positions -- resolve each position's
+        backward walk once for the whole batch.
+        """
+        results: List[QueryResult] = []
+        for request in requests:
+            if isinstance(request, tuple):
+                node, ts = request
+            else:
+                node, ts = request, None
+            results.append(self.query(node, ts))
+        return results
 
 
 def uniform_effects(classes: Dict[int, str]) -> EffectFn:

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..ir.module import Function
+from ..obs import MetricsRegistry
 from .dyncfg import TimestampedCfg
 from .engine import DemandDrivenEngine, QueryResult
 from .facts import Fact
@@ -79,20 +80,29 @@ def fact_frequencies(
     trace: Sequence[int],
     fact: Fact,
     blocks: Optional[Iterable[int]] = None,
+    engine: Optional[DemandDrivenEngine] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> FrequencyReport:
     """Evaluate ``fact`` at entry of every requested block instance.
 
     ``blocks`` defaults to every block executed by the trace.  One
-    demand-driven engine is shared, so classification work is reused
-    across the per-block queries.
+    memoized demand-driven engine serves the whole sweep through
+    :meth:`~repro.analysis.engine.DemandDrivenEngine.query_many`, so
+    backward traversals resolved for one block are reused by every
+    later block whose instances those traversals crossed.  Pass a
+    pre-built ``engine`` to reuse its memo across *calls* too (e.g. a
+    second fact sweep on the same trace is wrong -- the engine is bound
+    to one fact -- but repeated sweeps over block subsets are not).
     """
-    engine = DemandDrivenEngine.for_function_trace(func, trace, fact)
+    if engine is None:
+        engine = DemandDrivenEngine.for_function_trace(
+            func, trace, fact, metrics=metrics
+        )
     cfg = engine.cfg
     targets = list(blocks) if blocks is not None else cfg.nodes()
     entries: Dict[int, FactFrequency] = {}
     total_queries = 0
-    for block_id in targets:
-        result: QueryResult = engine.query(block_id)
+    for block_id, result in zip(targets, engine.query_many(targets)):
         total_queries += result.queries_issued
         entries[block_id] = FactFrequency(
             block_id=block_id,
@@ -115,22 +125,41 @@ FrequencyTask = Tuple
 def fact_frequencies_many(
     tasks: Sequence[FrequencyTask],
     threads: Optional[int] = None,
+    jobs: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[FrequencyReport]:
     """Batch :func:`fact_frequencies` over many (function, trace, fact)
     tasks, preserving input order.
 
     This is the multi-function analysis pass a profile server runs
     after a batch :meth:`~repro.compact.qserve.QueryEngine.traces_many`
-    pull: with ``threads > 1`` the per-task engines are fanned across a
-    thread pool (each task builds its own demand-driven engine, so
-    tasks share nothing and any interleaving yields identical reports).
+    pull.  Each task builds its own demand-driven engine, so tasks
+    share nothing and any interleaving yields identical reports; the
+    two fan-out knobs trade setup cost against isolation:
+
+    * ``threads > 1`` fans tasks across a thread pool in-process --
+      cheap, but the GIL serializes the series arithmetic;
+    * ``jobs`` (``0`` = all cores) ships LPT-packed shards of tasks to
+      worker *processes* via :func:`repro.analysis.parallel.analyze_tasks_parallel`
+      -- true parallelism for CPU-bound sweeps over many functions.
+      Tasks must then be picklable (identity-based facts such as
+      :class:`~repro.analysis.facts.DefinitionFrom` need the thread
+      path).
+
+    ``jobs`` wins when both are given.
     """
     items = [tuple(task) for task in tasks]
+
+    if jobs is not None and len(items) > 1:
+        from .parallel import analyze_tasks_parallel, resolve_jobs
+
+        if resolve_jobs(jobs) > 1:
+            return analyze_tasks_parallel(items, jobs, metrics=metrics)
 
     def run(item: FrequencyTask) -> FrequencyReport:
         func, trace, fact = item[:3]
         blocks = item[3] if len(item) > 3 else None
-        return fact_frequencies(func, trace, fact, blocks=blocks)
+        return fact_frequencies(func, trace, fact, blocks=blocks, metrics=metrics)
 
     if threads is not None and threads > 1 and len(items) > 1:
         with ThreadPoolExecutor(max_workers=min(threads, len(items))) as pool:

@@ -97,6 +97,12 @@ class ActivationAnalysis:
         if effects is None:
             effects = activation_effects(compacted, program, fact)
         self._effects = effects
+        # Per-block (gen, kill, transparent) partition of the block's
+        # full timestamp set; computed once, served by intersection.
+        self._block_partition: Dict[
+            int, Tuple[TimestampSet, TimestampSet, TimestampSet]
+        ] = {}
+        self._engine: Optional[DemandDrivenEngine] = None
 
         dcg = compacted.dcg
         func_idx = dcg.node_func[node]
@@ -121,8 +127,15 @@ class ActivationAnalysis:
             )
 
     def engine(self) -> DemandDrivenEngine:
-        """A demand-driven engine with call-aware effects."""
-        return DemandDrivenEngine(self.cfg, self._effect)
+        """The activation's demand-driven engine with call-aware effects.
+
+        One engine is kept per activation so its resolved-residue memo
+        accumulates across queries (interprocedural propagation re-enters
+        the same activations repeatedly).
+        """
+        if self._engine is None:
+            self._engine = DemandDrivenEngine(self.cfg, self._effect)
+        return self._engine
 
     def query(self, block_id: int, ts: Optional[TimestampSet] = None):
         """Convenience: evaluate ``<T, block>`` on this activation."""
@@ -133,42 +146,72 @@ class ActivationAnalysis:
     def _effect(
         self, block_id: int, ts: TimestampSet
     ) -> Tuple[TimestampSet, TimestampSet, TimestampSet]:
+        gen_full, kill_full, trans_full = self._partition(block_id)
+        # Common timestamp-invariant cases: no per-call intersection.
+        if not gen_full and not kill_full:
+            return gen_full, kill_full, ts
+        if not kill_full and not trans_full:
+            return ts, kill_full, trans_full
+        if not gen_full and not trans_full:
+            return gen_full, ts, trans_full
+        return (
+            ts.intersect(gen_full),
+            ts.intersect(kill_full),
+            ts.intersect(trans_full),
+        )
+
+    def _partition(
+        self, block_id: int
+    ) -> Tuple[TimestampSet, TimestampSet, TimestampSet]:
+        """(gen, kill, transparent) split of the block's full timestamp set.
+
+        Computed once per block -- per-instance call resolution is the
+        expensive part of interprocedural effects -- then every query
+        classifies its vector by intersecting against the cached split.
+        """
+        cached = self._block_partition.get(block_id)
+        if cached is not None:
+            return cached
         block = self.function.block(block_id)
         statements = block.statements
+        full = self.cfg.ts(block_id)
+        empty = TimestampSet()
         if not any(isinstance(s, Call) for s in statements):
             # Timestamp-invariant: classify once.
             from .facts import classify_statements
 
             cls = classify_statements(statements, self.fact)
-            empty = TimestampSet()
             if cls == GEN:
-                return ts, empty, empty
-            if cls == KILL:
-                return empty, ts, empty
-            return empty, empty, ts
-
-        # Call-bearing block: resolve per instance.
-        call_offsets = [
-            i for i, s in enumerate(statements) if isinstance(s, Call)
-        ]
-        gen_vals: List[int] = []
-        kill_vals: List[int] = []
-        trans_vals: List[int] = []
-        for t in ts:
-            verdict = self._classify_instance(
-                statements, call_offsets, t
-            )
-            if verdict == GEN:
-                gen_vals.append(t)
-            elif verdict == KILL:
-                kill_vals.append(t)
+                cached = (full, empty, empty)
+            elif cls == KILL:
+                cached = (empty, full, empty)
             else:
-                trans_vals.append(t)
-        return (
-            TimestampSet.from_values(gen_vals),
-            TimestampSet.from_values(kill_vals),
-            TimestampSet.from_values(trans_vals),
-        )
+                cached = (empty, empty, full)
+        else:
+            # Call-bearing block: resolve each instance once, here.
+            call_offsets = [
+                i for i, s in enumerate(statements) if isinstance(s, Call)
+            ]
+            gen_vals: List[int] = []
+            kill_vals: List[int] = []
+            trans_vals: List[int] = []
+            for t in full:
+                verdict = self._classify_instance(
+                    statements, call_offsets, t
+                )
+                if verdict == GEN:
+                    gen_vals.append(t)
+                elif verdict == KILL:
+                    kill_vals.append(t)
+                else:
+                    trans_vals.append(t)
+            cached = (
+                TimestampSet.from_values(gen_vals),
+                TimestampSet.from_values(kill_vals),
+                TimestampSet.from_values(trans_vals),
+            )
+        self._block_partition[block_id] = cached
+        return cached
 
     def _classify_instance(
         self, statements, call_offsets: List[int], t: int

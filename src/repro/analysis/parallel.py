@@ -1,0 +1,108 @@
+"""Parallel fan-out of independent data-flow analysis tasks.
+
+Per-function partitioning makes profile-limited analysis exactly as
+parallel as it made compaction: one (function, trace, fact) frequency
+task reads nothing but its own trace, so tasks fan across a
+``concurrent.futures.ProcessPoolExecutor`` the same way
+:mod:`repro.compact.parallel` shards compaction --
+
+1. estimate each task's cost (trace length, the bound on backward
+   propagation work);
+2. pack tasks into ``jobs * chunks_per_job`` shards with the same
+   greedy LPT bin packing (:func:`repro.compact.parallel.plan_shards`);
+3. ship each shard to a worker, which builds a memoized
+   :class:`~repro.analysis.engine.DemandDrivenEngine` per task and
+   returns plain :class:`~repro.analysis.frequency.FrequencyReport`\\ s;
+4. merge results back **in task order**, so ``jobs`` only changes
+   wall-clock time, never the reports.
+
+Per-task engines share nothing, and the per-task computation is
+deterministic, so any interleaving yields reports identical to the
+serial loop -- the equivalence tests pin this down.  If a pool cannot
+be created or breaks (restricted sandboxes, interpreter teardown), the
+shards run in-process and the ``analysis.parallel_fallback`` counter
+records it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import List, Optional, Sequence, Tuple
+
+from ..obs import MetricsRegistry
+from ..compact.parallel import DEFAULT_CHUNKS_PER_JOB, plan_shards, resolve_jobs
+
+__all__ = [
+    "analyze_tasks_parallel",
+    "plan_shards",
+    "resolve_jobs",
+]
+
+# One payload item: (task index, (func, trace, fact[, blocks])).
+_ShardItem = Tuple[int, Tuple]
+
+
+def _task_cost(task: Tuple) -> int:
+    """Backward-propagation work bound: the trace length."""
+    return len(task[1])
+
+
+def _analyze_shard(payload: List[_ShardItem]) -> List[Tuple[int, object]]:
+    """Worker entry point: run every frequency task in one shard."""
+    from .frequency import fact_frequencies
+
+    out = []
+    for task_idx, task in payload:
+        func, trace, fact = task[:3]
+        blocks = task[3] if len(task) > 3 else None
+        out.append((task_idx, fact_frequencies(func, trace, fact, blocks=blocks)))
+    return out
+
+
+def analyze_tasks_parallel(
+    tasks: Sequence[Tuple],
+    jobs: Optional[int],
+    metrics: Optional[MetricsRegistry] = None,
+    chunks_per_job: int = DEFAULT_CHUNKS_PER_JOB,
+) -> List[object]:
+    """Run frequency tasks on a pool of ``jobs`` worker processes.
+
+    Returns one :class:`~repro.analysis.frequency.FrequencyReport` per
+    task, in task order -- exactly what the serial loop in
+    :func:`~repro.analysis.frequency.fact_frequencies_many` produces.
+    Tasks must be picklable; facts that rely on statement identity
+    (:class:`~repro.analysis.facts.DefinitionFrom`) must stay on the
+    serial or thread path.
+    """
+    if metrics is None:
+        metrics = MetricsRegistry()
+    n_jobs = resolve_jobs(jobs)
+    costs = [_task_cost(task) for task in tasks]
+    shards = plan_shards(costs, n_jobs * max(1, chunks_per_job))
+    payloads: List[List[_ShardItem]] = [
+        [(idx, tuple(tasks[idx])) for idx in shard] for shard in shards
+    ]
+    metrics.inc("analysis.parallel_runs")
+    metrics.inc("analysis.shards", len(shards))
+    metrics.inc("analysis.tasks", len(tasks))
+
+    results: List[Optional[object]] = [None] * len(tasks)
+    try:
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            for chunk in pool.map(_analyze_shard, payloads):
+                for task_idx, report in chunk:
+                    results[task_idx] = report
+    except (OSError, BrokenProcessPool, RuntimeError, ImportError):
+        # Pool creation/teardown failed (restricted sandbox, missing
+        # semaphores, interpreter shutdown): analyze in-process instead.
+        metrics.inc("analysis.parallel_fallback")
+        results = [None] * len(tasks)
+        for payload in payloads:
+            for task_idx, report in _analyze_shard(payload):
+                results[task_idx] = report
+
+    missing = [i for i, report in enumerate(results) if report is None]
+    if missing:  # pragma: no cover - defensive; plan covers every index
+        raise RuntimeError(f"shard plan dropped task indices {missing}")
+    return results

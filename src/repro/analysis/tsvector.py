@@ -8,20 +8,32 @@ module provides that machinery: an immutable set of positive timestamps
 stored as ordered ``(lo, hi, step)`` entries with shift, intersection,
 difference and union.
 
-Shift and single-entry intersection operate directly on the series
-(intersecting two arithmetic progressions is a CRT problem); operations
-whose exact series result would require splitting into many fragments
-fall back to materialize-and-recompress, which preserves exactness and
-canonical form at a cost proportional to the set's cardinality.
+Every operation runs in the compressed domain.  Shift and single-entry
+intersection act directly on the series (intersecting two arithmetic
+progressions is a CRT problem); difference splits an entry around a
+removed progression into at most ``step``-residue fragments (prefix,
+the ``k - 1`` surviving residue classes modulo ``k = S/s``, suffix);
+union adds the entries of ``other - self``.  No operation ever
+materializes individual timestamps, so cost scales with the number of
+series entries, not with set cardinality.
+
+Entries are kept sorted by ``(lo, hi, step)`` and pairwise disjoint *as
+sets*; residue fragments may interleave in their ``[lo, hi]`` spans, so
+ordered iteration merges per-entry streams when spans overlap.  A
+lazily built interval index (sorted entry lows plus prefix-maximum
+highs) lets membership tests and intersections skip non-overlapping
+entries via bisection instead of scanning all pairs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import heapq
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
 from math import gcd
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ..compact.series import compress_series, decompress_series, iter_entries
+from ..compact.series import compress_series, iter_entries
 
 Entry = Tuple[int, int, int]  # (lo, hi, step), lo <= hi, step >= 1
 
@@ -82,13 +94,29 @@ class TimestampSet:
         return bool(self.entries)
 
     def __iter__(self) -> Iterator[int]:
-        for lo, hi, step in self.entries:
-            yield from range(lo, hi + 1, step)
+        entries = self.entries
+        for i in range(len(entries) - 1):
+            if entries[i][1] >= entries[i + 1][0]:
+                # Residue fragments interleave: merge per-entry streams.
+                return iter(
+                    heapq.merge(
+                        *(range(lo, hi + 1, step) for lo, hi, step in entries)
+                    )
+                )
+        return (
+            v
+            for lo, hi, step in entries
+            for v in range(lo, hi + 1, step)
+        )
 
     def __contains__(self, value: int) -> bool:
-        for lo, hi, step in self.entries:
+        los, max_hi = self._interval_index()
+        j = bisect_right(los, value) - 1
+        while j >= 0 and max_hi[j] >= value:
+            lo, hi, step = self.entries[j]
             if lo <= value <= hi and (value - lo) % step == 0:
                 return True
+            j -= 1
         return False
 
     def values(self) -> List[int]:
@@ -111,6 +139,38 @@ class TimestampSet:
         """Number of series entries -- the paper's vector width."""
         return len(self.entries)
 
+    # ---- interval index ------------------------------------------------
+
+    def _interval_index(self) -> Tuple[List[int], List[int]]:
+        """``(entry lows, prefix-maximum highs)``, built once per instance.
+
+        Entries are sorted by ``lo``; the prefix maximum of ``hi`` is
+        non-decreasing, so both arrays bisect: entries possibly
+        overlapping ``[span_lo, span_hi]`` lie between the first index
+        whose prefix-max high reaches ``span_lo`` and the last index
+        whose low does not exceed ``span_hi``.
+        """
+        cached = self.__dict__.get("_iv_index")
+        if cached is None:
+            los = [e[0] for e in self.entries]
+            max_hi: List[int] = []
+            running = 0
+            for _lo, hi, _step in self.entries:
+                running = hi if hi > running else running
+                max_hi.append(running)
+            cached = (los, max_hi)
+            object.__setattr__(self, "_iv_index", cached)
+        return cached
+
+    def _overlapping(self, span_lo: int, span_hi: int) -> Iterator[Entry]:
+        """Entries whose ``[lo, hi]`` span intersects ``[span_lo, span_hi]``."""
+        los, max_hi = self._interval_index()
+        start = bisect_left(max_hi, span_lo)
+        end = bisect_right(los, span_hi)
+        for entry in self.entries[start:end]:
+            if entry[1] >= span_lo:
+                yield entry
+
     # ---- collective operations ----------------------------------------
 
     def shift(self, delta: int) -> "TimestampSet":
@@ -119,6 +179,8 @@ class TimestampSet:
         This is the decrement/increment of query propagation; it acts
         entry-at-a-time, never expanding the series.
         """
+        if delta == 0:
+            return self
         out: List[Entry] = []
         for lo, hi, step in self.entries:
             lo += delta
@@ -131,44 +193,74 @@ class TimestampSet:
                 lo += k * step
                 if lo > hi:
                     continue
-            out.append((lo, hi, step))
+            out.append((lo, hi, 1) if lo == hi else (lo, hi, step))
+        out.sort()
         return TimestampSet(entries=tuple(out))
 
     def intersect(self, other: "TimestampSet") -> "TimestampSet":
         """Exact intersection.
 
-        Each pair of entries intersects to at most one arithmetic
-        progression (CRT); results are concatenated and re-canonicalized
-        only when they interleave.
+        Each pair of span-overlapping entries intersects to at most one
+        arithmetic progression (CRT); non-overlapping pairs are skipped
+        through the interval index.
         """
+        if not self.entries or not other.entries:
+            return TimestampSet()
+        # Drive the loop from the narrower operand so index bisection
+        # prunes the wider one.
+        a_set, b_set = self, other
+        if len(b_set.entries) < len(a_set.entries):
+            a_set, b_set = b_set, a_set
         pieces: List[Entry] = []
-        for a in self.entries:
-            for b in other.entries:
+        for a in a_set.entries:
+            for b in b_set._overlapping(a[0], a[1]):
                 piece = _intersect_entries(a, b)
                 if piece is not None:
                     pieces.append(piece)
         return _from_pieces(pieces)
 
     def subtract(self, other: "TimestampSet") -> "TimestampSet":
-        """Exact difference ``self - other``."""
+        """Exact difference ``self - other``, computed entry-at-a-time.
+
+        Each of ``self``'s entries is split around the progressions it
+        shares with ``other`` (:func:`_split_entry`); an overlapping
+        progression of combined step ``S = k * step`` removes one
+        residue class modulo ``k``, leaving at most ``k + 1`` fragments
+        -- never a materialized timestamp list.
+        """
         if not other.entries or not self.entries:
             return self
-        removed = self.intersect(other)
-        if not removed:
+        out: List[Entry] = []
+        changed = False
+        for a in self.entries:
+            fragments: List[Entry] = [a]
+            for b in other._overlapping(a[0], a[1]):
+                next_fragments: List[Entry] = []
+                for fragment in fragments:
+                    removed = _intersect_entries(fragment, b)
+                    if removed is None:
+                        next_fragments.append(fragment)
+                    else:
+                        changed = True
+                        next_fragments.extend(_split_entry(fragment, removed))
+                fragments = next_fragments
+                if not fragments:
+                    break
+            out.extend(fragments)
+        if not changed:
             return self
-        if len(removed) == len(self):
-            return TimestampSet()
-        # General difference fragments series arbitrarily; materialize.
-        gone = set(removed)
-        return TimestampSet.from_values(v for v in self if v not in gone)
+        return _from_pieces(out)
 
     def union(self, other: "TimestampSet") -> "TimestampSet":
-        """Exact union."""
+        """Exact union: ``self`` plus the entries of ``other - self``."""
         if not other.entries:
             return self
         if not self.entries:
             return other
-        return _from_pieces(list(self.entries) + list(other.entries))
+        extra = other.subtract(self)
+        if not extra.entries:
+            return self
+        return _from_pieces(list(self.entries) + list(extra.entries))
 
     def __str__(self) -> str:
         parts = []
@@ -201,7 +293,46 @@ def _intersect_entries(a: Entry, b: Entry) -> Optional[Entry]:
     if t > hi:
         return None
     last = t + (hi - t) // step * step
+    if t == last:
+        return (t, t, 1)
     return (t, last, step)
+
+
+def _split_entry(entry: Entry, removed: Entry) -> List[Entry]:
+    """Fragments of ``entry`` after deleting ``removed`` (a sub-progression).
+
+    ``removed`` must lie on ``entry``'s lattice -- its bounds members of
+    the entry, its step a multiple of the entry's -- which is exactly
+    what :func:`_intersect_entries` guarantees.  With ``k = S / s``
+    (removed step over entry step) the survivors are the prefix before
+    ``removed``, the ``k - 1`` residue classes modulo ``k`` strictly
+    between its bounds, and the suffix after it: at most ``k + 1``
+    fragments, each still an arithmetic progression.
+    """
+    lo, hi, s = entry
+    qlo, qhi, q_step = removed
+    # A one-member removal carries step 1 by normalization; its true
+    # lattice step within the entry is irrelevant.
+    out: List[Entry] = []
+    if qlo > lo:
+        pre_hi = qlo - s
+        out.append((lo, pre_hi, 1) if lo == pre_hi else (lo, pre_hi, s))
+    if qhi > qlo:
+        k = q_step // s
+        if k > 1:
+            # Members of the entry strictly inside [qlo, qhi] sit at
+            # offsets m*s for m in 1..M-1 (M = (qhi-qlo)/s, a multiple
+            # of k); the removed ones are m ≡ 0 (mod k).
+            span = (qhi - qlo) // s
+            for r in range(1, k):
+                first = qlo + r * s
+                last = qlo + (span - k + r) * s
+                out.append((first, first, 1) if first == last
+                           else (first, last, q_step))
+    if qhi < hi:
+        suf_lo = qhi + s
+        out.append((suf_lo, suf_lo, 1) if suf_lo == hi else (suf_lo, hi, s))
+    return out
 
 
 def _crt(r1: int, m1: int, r2: int, m2: int) -> int:
@@ -230,21 +361,22 @@ def _ext_gcd(a: int, b: int) -> Tuple[int, int, int]:
 
 
 def _from_pieces(pieces: List[Entry]) -> TimestampSet:
-    """Canonicalize a bag of entries into a TimestampSet."""
+    """Canonicalize pairwise-disjoint entries into a TimestampSet.
+
+    Pieces must be disjoint *as sets* (every caller -- CRT intersection,
+    progression splitting, ``self + (other - self)`` union -- produces
+    them that way); their spans may interleave.  Sorting plus
+    adjacent-run merging is all that is needed: no materialization.
+    """
     if not pieces:
         return TimestampSet()
+    pieces = [
+        (lo, hi, 1) if lo == hi else (lo, hi, step)
+        for lo, hi, step in pieces
+    ]
     pieces.sort()
-    # Fast path: already disjoint and ordered.
-    disjoint = all(
-        pieces[i][1] < pieces[i + 1][0] for i in range(len(pieces) - 1)
-    )
-    if disjoint:
-        merged = _merge_adjacent(pieces)
-        return TimestampSet(entries=tuple(merged))
-    values = sorted(
-        {v for lo, hi, step in pieces for v in range(lo, hi + 1, step)}
-    )
-    return TimestampSet.from_values(values)
+    merged = _merge_adjacent(pieces)
+    return TimestampSet(entries=tuple(merged))
 
 
 def _merge_adjacent(pieces: List[Entry]) -> List[Entry]:

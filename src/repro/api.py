@@ -54,6 +54,7 @@ TwppSource = Union[CompactedWpp, PathLike]
 __all__ = [
     "CompactResult",
     "Session",
+    "analyze",
     "compact",
     "query",
     "stats",
@@ -249,6 +250,65 @@ class Session:
         """Per-stage size accounting (Tables 1-3) for a WPP."""
         return self.compact(wpp, jobs=jobs).stats
 
+    def analyze(
+        self,
+        twpp: TwppSource,
+        program: Union[Program, PathLike],
+        fact,
+        functions: Optional[Sequence[str]] = None,
+        jobs: Optional[int] = None,
+    ):
+        """Data-flow fact frequencies over every path trace of a TWPP.
+
+        ``fact`` is a :class:`~repro.analysis.facts.Fact` or a spec
+        string (``load:100``, ``expr:a,b``, ``def:x``); ``functions``
+        defaults to every function with at least one trace.  Traces are
+        pulled through the session's warm query engine (one batch
+        :meth:`~repro.compact.qserve.QueryEngine.traces_many` call for
+        ``.twpp`` paths), then one frequency task per (function, path
+        trace) fans out with the session's ``threads`` or -- when
+        ``jobs`` (or the session default) resolves to more than one
+        worker -- across a process pool.  Returns an ordered
+        ``{name: [FrequencyReport, ...]}`` dict, one report per path
+        trace, identical for every fan-out setting.
+        """
+        from .analysis.facts import parse_fact
+        from .analysis.frequency import fact_frequencies_many
+
+        if isinstance(fact, str):
+            fact = parse_fact(fact)
+        prog = self._load_program(program)
+        names = list(functions) if functions is not None else None
+        with self.metrics.timer("analyze"):
+            if isinstance(twpp, CompactedWpp):
+                if names is None:
+                    names = [fc.name for fc in twpp.functions]
+                traces = {name: self._query_one(twpp, name) for name in names}
+            else:
+                engine = self.engine(twpp)
+                if names is None:
+                    names = engine.function_names()
+                traces = engine.traces_many(names)
+
+            tasks = []
+            owners: List[str] = []
+            for name in names:
+                func = prog.function(name)
+                for trace in traces[name]:
+                    tasks.append((func, trace, fact))
+                    owners.append(name)
+            reports = fact_frequencies_many(
+                tasks,
+                threads=self.threads,
+                jobs=self.jobs if jobs is None else jobs,
+                metrics=self.metrics,
+            )
+        self.metrics.inc("analysis.session_tasks", len(tasks))
+        out: Dict[str, list] = {name: [] for name in names}
+        for name, report in zip(owners, reports):
+            out[name].append(report)
+        return out
+
     # ---- persistence --------------------------------------------------
 
     def save_wpp(self, wpp: WppTrace, path: PathLike) -> int:
@@ -327,3 +387,22 @@ def stats(
 ) -> CompactionStats:
     """Compaction stage-size accounting for a WPP."""
     return Session(jobs=jobs, metrics=metrics).stats(wpp)
+
+
+def analyze(
+    twpp: TwppSource,
+    program: Union[Program, PathLike],
+    fact,
+    functions: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
+):
+    """Fact frequencies over a compacted WPP's path traces.
+
+    ``fact`` accepts a :class:`~repro.analysis.facts.Fact` or a spec
+    string (``load:100``, ``expr:a,b``, ``def:x``).  Returns an ordered
+    ``{function: [FrequencyReport, ...]}`` dict; ``jobs > 1`` fans the
+    per-trace analysis tasks across a process pool.
+    """
+    with Session(jobs=jobs, metrics=metrics) as session:
+        return session.analyze(twpp, program, fact, functions=functions)

@@ -12,6 +12,7 @@ Usage (also via ``python -m repro``)::
     repro-wpp query run.twpp f g h --threads 4       # cached batch query
     repro-wpp stats run.wpp                          # stage size report
     repro-wpp check run.twpp --program prog.ir       # integrity fsck
+    repro-wpp analyze run.twpp --program prog.ir --fact load:100 -j 4
     repro-wpp diff good.twpp bad.twpp                # behavioural run diff
     repro-wpp hotpaths run.wpp                       # hot acyclic paths
     repro-wpp experiments --scale 1.0                # all tables+figures
@@ -180,6 +181,37 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .api import Session
+
+    with Session(jobs=args.jobs, threads=args.threads) as s:
+        reports = s.analyze(
+            args.twpp,
+            args.program,
+            args.fact,
+            functions=args.functions or None,
+        )
+        metrics = s.metrics
+    for name, func_reports in reports.items():
+        for idx, report in enumerate(func_reports):
+            hot = report.hot_facts(args.threshold)
+            total = sum(e.executions for e in report.entries.values())
+            held = sum(e.holds for e in report.entries.values())
+            print(
+                f"{name}[trace {idx}]: {held}/{total} instances hold, "
+                f"{len(hot)} hot block(s) at >= {args.threshold:.0%}"
+            )
+            for e in hot[: args.limit]:
+                print(
+                    f"  block {e.block_id}: {e.holds}/{e.executions} "
+                    f"({e.frequency:.0%})"
+                )
+    if args.metrics_out:
+        metrics.write_json(args.metrics_out)
+        print(f"wrote {args.metrics_out}")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .api import Session
     from .trace.format import read_wpp
@@ -340,6 +372,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker threads for batch .twpp queries "
                         "(0 = auto, 1 = serial)")
     p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser(
+        "analyze",
+        help="data-flow fact frequencies over a .twpp's path traces",
+    )
+    p.add_argument("twpp", help=".twpp input path")
+    p.add_argument("--program", required=True, help="textual IR file")
+    p.add_argument("--fact", required=True,
+                   help="fact spec: load:ADDR, expr:a,b or def:x")
+    p.add_argument("--function", dest="functions", action="append",
+                   default=[], metavar="NAME",
+                   help="restrict to this function (repeatable; "
+                        "default: every function)")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="analysis worker processes (0 = one per CPU)")
+    p.add_argument("--threads", type=int, default=0,
+                   help="worker threads for the batch trace pull "
+                        "(0 = auto, 1 = serial)")
+    p.add_argument("--threshold", type=float, default=0.9,
+                   help="hot-fact frequency threshold (default 0.9)")
+    p.add_argument("--limit", type=int, default=10,
+                   help="max hot blocks to print per trace")
+    p.add_argument("--metrics-out",
+                   help="write analysis metrics JSON to this path")
+    p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("stats", help="compaction stage report for a .wpp")
     p.add_argument("wpp")

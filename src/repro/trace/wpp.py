@@ -17,8 +17,8 @@ kind in the low two bits, so a multi-million-event trace is one flat
 from __future__ import annotations
 
 from array import array
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 ENTER = 0
 BLOCK = 1
@@ -47,15 +47,22 @@ class WppTrace:
 
     func_names: List[str]
     events: array  # array('Q') of packed events
+    _name_index: Optional[Dict[str, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.events)
 
     def func_index(self, name: str) -> int:
-        """Index of a function name (linear scan; tables are small)."""
+        """Index of a function name (lazily built name->index map)."""
+        index = self._name_index
+        if index is None:
+            index = {n: i for i, n in enumerate(self.func_names)}
+            self._name_index = index
         try:
-            return self.func_names.index(name)
-        except ValueError:
+            return index[name]
+        except KeyError:
             raise KeyError(f"function {name!r} not in trace") from None
 
     def iter_events(self) -> Iterator[Tuple[int, int]]:

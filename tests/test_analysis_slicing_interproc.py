@@ -152,3 +152,37 @@ class TestInstancePrecision:
         # Only the second ident activation should have been visited
         # for data (plus main).
         assert result.activations_visited == 2
+
+
+class TestSliceMany:
+    def _slicer_and_criteria(self):
+        program, compacted = build(return_value_program)
+        slicer = InterproceduralSlicer(compacted, program)
+        criteria = [
+            (0, 2, ["z"]),
+            (0, 2, ["r"]),
+            (0, 1, ["a"]),
+            (0, 2, ["z"], TimestampSet.single(2)),
+        ]
+        return slicer, criteria
+
+    def test_matches_serial(self):
+        slicer, criteria = self._slicer_and_criteria()
+        serial = [
+            slicer.slice(c[0], c[1], c[2], ts=c[3] if len(c) > 3 else None)
+            for c in criteria
+        ]
+        fresh_slicer, _ = self._slicer_and_criteria()
+        threaded = fresh_slicer.slice_many(criteria, threads=4)
+        assert [r.slice_nodes for r in threaded] == [
+            r.slice_nodes for r in serial
+        ]
+        assert [r.criterion for r in threaded] == [
+            r.criterion for r in serial
+        ]
+
+    def test_serial_path_without_threads(self):
+        slicer, criteria = self._slicer_and_criteria()
+        results = slicer.slice_many(criteria)
+        assert len(results) == len(criteria)
+        assert results[0].slice_nodes == slicer.slice(0, 2, ["z"]).slice_nodes

@@ -189,3 +189,69 @@ class TestDeprecatedAliases:
             warnings.simplefilter("error", DeprecationWarning)
             collect_wpp(program)
         assert not caught
+
+
+class TestSessionAnalyze:
+    def test_fact_frequencies_from_twpp(self, session_and_artifacts):
+        session, _wpp, _r, _wp, twpp_path = session_and_artifacts
+        reports = session.analyze(twpp_path, figure1_program(), "def:i")
+        assert set(reports) == {"f", "main"}
+        main_report = reports["main"][0]
+        # i is assigned in block 1, so it holds at every later block.
+        assert main_report.entries[4].frequency == 1.0
+        assert main_report.entries[1].holds == 0
+
+    def test_fact_object_and_spec_agree(self, session_and_artifacts):
+        from repro.analysis import VarHasDefinition
+
+        session, _wpp, _r, _wp, twpp_path = session_and_artifacts
+        program = figure1_program()
+        by_spec = session.analyze(twpp_path, program, "def:j", functions=["f"])
+        by_fact = session.analyze(
+            twpp_path, program, VarHasDefinition("j"), functions=["f"]
+        )
+        assert list(by_spec) == ["f"]
+        for a, b in zip(by_spec["f"], by_fact["f"]):
+            assert a.entries == b.entries
+
+    def test_jobs_override_matches_serial(self, session_and_artifacts):
+        session, _wpp, _r, _wp, twpp_path = session_and_artifacts
+        program = figure1_program()
+        serial = session.analyze(twpp_path, program, "def:i", jobs=1)
+        pooled = session.analyze(twpp_path, program, "def:i", jobs=2)
+        assert list(serial) == list(pooled)
+        for name in serial:
+            got = [
+                {
+                    b: (e.executions, e.holds, e.fails, e.unresolved)
+                    for b, e in rep.entries.items()
+                }
+                for rep in pooled[name]
+            ]
+            ref = [
+                {
+                    b: (e.executions, e.holds, e.fails, e.unresolved)
+                    for b, e in rep.entries.items()
+                }
+                for rep in serial[name]
+            ]
+            assert got == ref
+
+    def test_in_memory_compacted_input(self, session_and_artifacts):
+        session, _wpp, result, _wp, twpp_path = session_and_artifacts
+        program = figure1_program()
+        from_path = session.analyze(twpp_path, program, "def:i")
+        from_memory = session.analyze(result.compacted, program, "def:i")
+        # Default function order follows the source (file sections are
+        # hottest-first; the in-memory table is index order) -- the
+        # per-function reports must agree regardless.
+        assert sorted(from_path) == sorted(from_memory)
+        for name in from_path:
+            assert [r.entries for r in from_path[name]] == [
+                r.entries for r in from_memory[name]
+            ]
+
+    def test_top_level_verb(self, session_and_artifacts, program):
+        _s, _wpp, _r, _wp, twpp_path = session_and_artifacts
+        reports = repro.analyze(twpp_path, program, "def:i")
+        assert reports["main"][0].entries[4].frequency == 1.0

@@ -209,3 +209,36 @@ class TestCoverage:
         out = capsys.readouterr().out
         assert "overall block coverage" in out
         assert "main" in out
+
+
+class TestAnalyze:
+    def test_report_and_metrics(self, pipeline_files, tmp_path, capsys):
+        ir, _wpp, twpp, _sqwp = pipeline_files
+        metrics = tmp_path / "analysis-metrics.json"
+        rc = main([
+            "analyze", str(twpp), "--program", str(ir),
+            "--fact", "def:i", "-j", "2", "--limit", "3",
+            "--metrics-out", str(metrics),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "instances hold" in out
+        assert metrics.exists()
+
+    def test_function_filter(self, pipeline_files, capsys):
+        ir, _wpp, twpp, _sqwp = pipeline_files
+        rc = main([
+            "analyze", str(twpp), "--program", str(ir),
+            "--fact", "def:i", "--function", "main",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("[trace") == out.count("main[trace")
+
+    def test_bad_fact_spec(self, pipeline_files, capsys):
+        ir, _wpp, twpp, _sqwp = pipeline_files
+        rc = main([
+            "analyze", str(twpp), "--program", str(ir), "--fact", "bogus",
+        ])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err

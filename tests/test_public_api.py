@@ -56,6 +56,7 @@ class TestExports:
             "MetricsRegistry",
             "Session",
             "__version__",
+            "analyze",
             "collect_wpp",
             "compact",
             "query",
@@ -67,6 +68,7 @@ class TestExports:
         assert callable(repro.compact)
         assert callable(repro.query)
         assert callable(repro.stats)
+        assert callable(repro.analyze)
 
     def test_facade_verbs_are_api_objects(self):
         import repro
