@@ -47,7 +47,17 @@ import warnings as _warnings
 
 __version__ = "1.2.0"
 
-from .api import CompactResult, Session, analyze, compact, query, stats, trace
+from .api import (
+    CompactResult,
+    Session,
+    StreamResult,
+    analyze,
+    compact,
+    query,
+    stats,
+    stream_compact,
+    trace,
+)
 from .interp import run_program as _run_program
 from .obs import MetricsRegistry
 from .trace import collect_wpp as _collect_wpp
@@ -56,6 +66,7 @@ __all__ = [
     "CompactResult",
     "MetricsRegistry",
     "Session",
+    "StreamResult",
     "__version__",
     "analyze",
     "collect_wpp",
@@ -63,6 +74,7 @@ __all__ = [
     "query",
     "run_program",
     "stats",
+    "stream_compact",
     "trace",
 ]
 

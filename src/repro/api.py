@@ -41,6 +41,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 from .compact.format import read_twpp, write_twpp
 from .compact.pipeline import CompactedWpp, CompactionStats, compact_wpp
 from .compact.qserve import DEFAULT_CACHE_BYTES, QueryEngine
+from .compact.stream import StreamResult, stream_compact as _stream_compact
 from .ir.module import Program
 from .obs import MetricsRegistry
 from .trace.format import read_wpp, scan_function_traces, write_wpp
@@ -54,10 +55,12 @@ TwppSource = Union[CompactedWpp, PathLike]
 __all__ = [
     "CompactResult",
     "Session",
+    "StreamResult",
     "analyze",
     "compact",
     "query",
     "stats",
+    "stream_compact",
     "trace",
 ]
 
@@ -133,8 +136,29 @@ class Session:
         args: Tuple[int, ...] = (),
         inputs: Tuple[int, ...] = (),
         max_events: Optional[int] = None,
-    ) -> WppTrace:
-        """Run a program (object or textual-IR path), collect its WPP."""
+        stream: bool = False,
+        output: Optional[PathLike] = None,
+        jobs: Optional[int] = None,
+    ) -> Union[WppTrace, StreamResult]:
+        """Run a program (object or textual-IR path), collect its WPP.
+
+        With ``stream=True`` the run is compacted *while executing*
+        (the overlapped pipeline of :mod:`repro.compact.stream`) and
+        written straight to ``output`` as a ``.twpp`` -- no raw WPP is
+        ever materialized.  Returns a :class:`StreamResult` instead of
+        a :class:`~repro.trace.wpp.WppTrace` in that mode.
+        """
+        if stream:
+            if output is None:
+                raise TypeError("trace(stream=True) requires output=<path>")
+            return self.stream_compact(
+                program,
+                output,
+                args=args,
+                inputs=inputs,
+                max_events=max_events,
+                jobs=jobs,
+            )
         with self.metrics.timer("trace"):
             wpp = collect_wpp(
                 self._load_program(program),
@@ -144,6 +168,32 @@ class Session:
             )
         self.metrics.inc("trace.events", len(wpp))
         return wpp
+
+    def stream_compact(
+        self,
+        program: Union[Program, PathLike],
+        path: PathLike,
+        args: Tuple[int, ...] = (),
+        inputs: Tuple[int, ...] = (),
+        max_events: Optional[int] = None,
+        jobs: Optional[int] = None,
+    ) -> StreamResult:
+        """Trace + compact + write a ``.twpp`` in one overlapped pass.
+
+        Byte-identical to ``session.compact(session.trace(p)).save(path)``
+        but compaction consumers run concurrently with execution and the
+        file is written incrementally.  ``jobs`` sets the consumer
+        thread count (defaults to the session's).
+        """
+        return _stream_compact(
+            self._load_program(program),
+            path,
+            args=args,
+            inputs=inputs,
+            jobs=self.jobs if jobs is None else jobs,
+            max_events=max_events,
+            metrics=self.metrics,
+        )
 
     def partition(self, wpp: WppSource) -> PartitionedWpp:
         """Partition a WPP into per-call path traces plus a DCG."""
@@ -361,6 +411,21 @@ def compact(
 ) -> CompactResult:
     """Compact a WPP (``jobs > 1`` shards functions across a pool)."""
     return Session(jobs=jobs, metrics=metrics).compact(wpp)
+
+
+def stream_compact(
+    program: Union[Program, PathLike],
+    path: PathLike,
+    args: Tuple[int, ...] = (),
+    inputs: Tuple[int, ...] = (),
+    max_events: Optional[int] = None,
+    jobs: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
+) -> StreamResult:
+    """Run a program and stream its compacted ``.twpp`` straight to disk."""
+    return Session(jobs=jobs, metrics=metrics).stream_compact(
+        program, path, args=args, inputs=inputs, max_events=max_events
+    )
 
 
 def query(

@@ -57,6 +57,31 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from .interp.interpreter import run_program
 
     program = parse_program(Path(args.program).read_text())
+    if args.stream:
+        from .compact.stream import stream_compact
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        res = stream_compact(
+            program,
+            args.output,
+            args=args.arg,
+            inputs=args.input,
+            jobs=args.jobs,
+            max_events=args.max_events,
+            metrics=metrics,
+        )
+        print(
+            f"streamed {res.events} events ({res.run.calls_made} calls) "
+            f"at {res.events_per_sec:,.0f} events/s, wrote {args.output} "
+            f"({res.bytes_written} bytes, overall x{res.stats.overall_factor:.1f})"
+        )
+        if res.run.output:
+            print("program output:", " ".join(map(str, res.run.output)))
+        if args.metrics_out:
+            metrics.write_json(args.metrics_out)
+            print(f"wrote {args.metrics_out}")
+        return 0
     builder = WppBuilder()
     result = run_program(
         program,
@@ -331,12 +356,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("trace", help="run a textual-IR program, collect its WPP")
     p.add_argument("program", help="textual IR file")
-    p.add_argument("-o", "--output", required=True, help=".wpp output path")
+    p.add_argument("-o", "--output", required=True,
+                   help=".wpp output path (.twpp with --stream)")
     p.add_argument("--arg", type=int, action="append", default=[],
                    help="argument passed to main (repeatable)")
     p.add_argument("--input", type=int, action="append", default=[],
                    help="value for the read() input stream (repeatable)")
     p.add_argument("--max-events", type=int, default=50_000_000)
+    p.add_argument("--stream", action="store_true",
+                   help="compact while executing and write a .twpp directly "
+                        "(overlapped trace->compact->write pipeline)")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="streaming compaction consumer threads "
+                        "(0 = one per CPU; only with --stream)")
+    p.add_argument("--metrics-out",
+                   help="write ingest.* metrics JSON (only with --stream)")
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("compact", help="compact a .wpp into an indexed .twpp")

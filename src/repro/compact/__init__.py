@@ -68,6 +68,11 @@ from .query import (
     extract_function_record,
     extract_function_traces,
 )
+from .stream import (
+    STREAM_QUEUE_CAP,
+    StreamResult,
+    stream_compact,
+)
 from .series import (
     compress_series,
     decompress_series,
@@ -93,6 +98,8 @@ __all__ = [
     "MmapSource",
     "PooledFileSource",
     "QueryEngine",
+    "STREAM_QUEUE_CAP",
+    "StreamResult",
     "TwppDelta",
     "TwppHeader",
     "TwppPathTrace",
@@ -126,6 +133,7 @@ __all__ = [
     "serialize_twpp",
     "series_contains",
     "series_len",
+    "stream_compact",
     "trace_to_twpp",
     "twpp_bytes",
     "twpp_to_trace",

@@ -32,16 +32,17 @@ from ..obs import MetricsRegistry
 from ..trace.dcg import DynamicCallGraph
 from ..trace.encoding import (
     check_count,
+    decode_uvarints,
+    encode_uvarints,
     read_string,
-    read_svarint,
     read_uvarint,
     write_string,
-    write_svarint,
     write_uvarint,
 )
 from .dbb import DbbDictionary
 from .lzw import lzw_compress, lzw_decompress
 from .pipeline import CompactedWpp, FunctionCompact
+from .series import decode_entry_stream, encode_entry_stream
 from .twpp import TwppPathTrace, twpp_to_trace
 
 MAGIC = b"TWPP"
@@ -89,23 +90,25 @@ def _serialize_section(fc: FunctionCompact) -> bytes:
         for block, stream in twpp.entries:
             write_uvarint(buf, block)
             write_uvarint(buf, len(stream))
-            for value in stream:
-                write_svarint(buf, value)
+            buf += encode_entry_stream(stream)
     write_uvarint(buf, len(fc.dict_table))
     for dictionary in fc.dict_table:
         write_uvarint(buf, len(dictionary.chains))
         for chain in dictionary.chains:
             write_uvarint(buf, len(chain))
-            for block in chain:
-                write_uvarint(buf, block)
+            buf += encode_uvarints(chain)
     write_uvarint(buf, len(fc.pairs))
+    flat_pairs: List[int] = []
     for body_id, dict_id in fc.pairs:
-        write_uvarint(buf, body_id)
-        write_uvarint(buf, dict_id)
+        flat_pairs.append(body_id)
+        flat_pairs.append(dict_id)
+    buf += encode_uvarints(flat_pairs)
     return bytes(buf)
 
 
-def _parse_section(data: bytes, name: str, call_count: int) -> FunctionCompact:
+def _parse_section(data, name: str, call_count: int) -> FunctionCompact:
+    if not isinstance(data, (bytes, bytearray)):
+        data = bytes(data)  # one copy up front so bulk decode scans raw bytes
     fc = FunctionCompact(name=name, call_count=call_count)
     offset = 0
     n_bodies, offset = read_uvarint(data, offset)
@@ -117,11 +120,7 @@ def _parse_section(data: bytes, name: str, call_count: int) -> FunctionCompact:
         for _ in range(n_blocks):
             block, offset = read_uvarint(data, offset)
             stream_len, offset = read_uvarint(data, offset)
-            check_count(stream_len, data, offset)
-            stream = []
-            for _ in range(stream_len):
-                value, offset = read_svarint(data, offset)
-                stream.append(value)
+            stream, offset = decode_entry_stream(data, offset, stream_len)
             entries.append((block, tuple(stream)))
         twpp = TwppPathTrace(entries=tuple(entries))
         fc.twpp_table.append(twpp)
@@ -134,19 +133,13 @@ def _parse_section(data: bytes, name: str, call_count: int) -> FunctionCompact:
         chains = []
         for _ in range(n_chains):
             chain_len, offset = read_uvarint(data, offset)
-            check_count(chain_len, data, offset)
-            chain = []
-            for _ in range(chain_len):
-                block, offset = read_uvarint(data, offset)
-                chain.append(block)
+            chain, offset = decode_uvarints(data, offset, chain_len)
             chains.append(tuple(chain))
         fc.dict_table.append(DbbDictionary(chains=tuple(chains)))
     n_pairs, offset = read_uvarint(data, offset)
     check_count(n_pairs, data, offset, min_bytes=2)
-    for _ in range(n_pairs):
-        body_id, offset = read_uvarint(data, offset)
-        dict_id, offset = read_uvarint(data, offset)
-        fc.pairs.append((body_id, dict_id))
+    flat, offset = decode_uvarints(data, offset, 2 * n_pairs)
+    fc.pairs.extend(zip(flat[0::2], flat[1::2]))
     if offset != len(data):
         raise ValueError(f"section for {name!r} has trailing bytes")
     return fc

@@ -21,8 +21,34 @@ from __future__ import annotations
 
 from typing import Iterator, List, Sequence, Tuple
 
+from ..trace.encoding import check_count, decode_svarints, encode_svarints
+
 #: An entry in decoded form: (lo, hi, step).  Singletons have lo == hi.
 Entry = Tuple[int, int, int]
+
+
+def encode_entry_stream(stream: Sequence[int]) -> bytes:
+    """Serialize a signed entry stream as zigzag varint bytes.
+
+    The on-disk form of one TWPP entry stream; bulk-encoded so a whole
+    stream costs a handful of C-level calls rather than one Python loop
+    iteration per integer.  Byte-identical to writing each value with
+    :func:`repro.trace.encoding.write_svarint`.
+    """
+    return encode_svarints(stream)
+
+
+def decode_entry_stream(
+    data, offset: int, count: int
+) -> Tuple[List[int], int]:
+    """Read ``count`` signed entry-stream values from ``data``.
+
+    Bulk counterpart of repeated
+    :func:`repro.trace.encoding.read_svarint` calls; returns
+    ``(values, next_offset)``.
+    """
+    check_count(count, data, offset)
+    return decode_svarints(data, offset, count)
 
 
 def compress_series(timestamps: Sequence[int]) -> List[int]:

@@ -7,10 +7,18 @@ and exits bracketing each activation.  That event stream *is* the WPP.
 
 The evaluation loop is iterative (explicit frame stack) so deeply nested
 call chains in generated workloads cannot hit Python's recursion limit.
+
+Tracers that implement the batched ``block_run(buf, n)`` protocol (see
+:mod:`repro.interp.tracer`) receive straight-line block ids as runs: the
+interpreter accumulates ids into a reusable ``array('q')`` buffer and
+flushes once per enter/leave boundary (or when the buffer fills), so
+per-event tracer dispatch disappears from the hot loop.  Event order is
+identical to the per-event path.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -35,6 +43,9 @@ from .tracer import NullTracer
 #: Default budget of basic-block events per run.  Generous enough for the
 #: largest generated workloads; small enough to catch runaway loops fast.
 DEFAULT_MAX_EVENTS = 50_000_000
+
+#: Capacity of the straight-line run buffer flushed via ``block_run``.
+RUN_BUFFER_CAP = 8192
 
 
 @dataclass
@@ -84,6 +95,10 @@ class Interpreter:
         self._blocks_executed = 0
         self._calls_made = 0
         self._tracer = tracer
+        self._block_run = getattr(tracer, "block_run", None)
+        if self._block_run is not None:
+            self._run_buf = array("q", [0]) * RUN_BUFFER_CAP
+            self._run_len = 0
 
         main = self.program.function(self.program.main)
         if len(args) != len(main.params):
@@ -136,6 +151,8 @@ class Interpreter:
                     if term.value is not None
                     else None
                 )
+                if self._block_run is not None and self._run_len:
+                    self._flush_run()
                 self._tracer.leave()
                 if not stack:
                     return_value = value
@@ -166,6 +183,8 @@ class Interpreter:
 
     def _enter_function(self, func: Function, arg_values: List[int]) -> _Frame:
         self._calls_made += 1
+        if self._block_run is not None and self._run_len:
+            self._flush_run()
         self._tracer.enter(func.name)
         env = dict(zip(func.params, arg_values))
         frame = _Frame(func=func, env=env, block_id=func.entry)
@@ -180,10 +199,24 @@ class Interpreter:
     def _note_block(self, block_id: int) -> None:
         self._blocks_executed += 1
         if self._blocks_executed > self.max_events:
+            if self._block_run is not None and self._run_len:
+                self._flush_run()
             raise FuelExhausted(
                 f"exceeded {self.max_events} basic-block events"
             )
-        self._tracer.block(block_id)
+        if self._block_run is None:
+            self._tracer.block(block_id)
+            return
+        n = self._run_len
+        self._run_buf[n] = block_id
+        self._run_len = n + 1
+        if self._run_len == RUN_BUFFER_CAP:
+            self._flush_run()
+
+    def _flush_run(self) -> None:
+        """Hand the buffered straight-line block run to the tracer."""
+        n, self._run_len = self._run_len, 0
+        self._block_run(self._run_buf, n)
 
     def _exec_simple(self, stmt, env: Dict[str, int]) -> None:
         if isinstance(stmt, Assign):

@@ -11,6 +11,19 @@ Any object with those three methods can be passed as a tracer.  The real
 WPP collector lives in :mod:`repro.trace.wpp` (``WppBuilder``); the
 tracers here are the trivial sinks used by tests and by runs that do not
 need a trace.
+
+Tracers may additionally implement the **batched protocol**::
+
+    block_run(buf, n)   -- the next n entries of buf are BLOCK events
+
+where ``buf`` is an ``array('q')`` run buffer owned by the interpreter
+(valid only for the duration of the call -- copy, don't keep).  When a
+tracer exposes ``block_run``, the interpreter accumulates straight-line
+block ids and flushes them in one call per run instead of dispatching
+one Python method call per block, which is what makes high-volume
+ingestion cheap.  ``block`` remains the per-event compatibility path
+for tracers that don't implement runs; the event order either way is
+identical.
 """
 
 from __future__ import annotations
@@ -25,6 +38,9 @@ class NullTracer:
         pass
 
     def block(self, block_id: int) -> None:
+        pass
+
+    def block_run(self, buf, n: int) -> None:
         pass
 
     def leave(self) -> None:
@@ -46,6 +62,9 @@ class ListTracer:
     def block(self, block_id: int) -> None:
         self.events.append(("block", block_id))
 
+    def block_run(self, buf, n: int) -> None:
+        self.events.extend(("block", buf[i]) for i in range(n))
+
     def leave(self) -> None:
         self.events.append(("leave",))
 
@@ -63,6 +82,9 @@ class CountingTracer:
 
     def block(self, block_id: int) -> None:
         self.blocks += 1
+
+    def block_run(self, buf, n: int) -> None:
+        self.blocks += n
 
     def leave(self) -> None:
         self.leaves += 1

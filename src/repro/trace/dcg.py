@@ -14,9 +14,16 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Dict, List
 
-from .encoding import check_count, read_uvarint, write_uvarint
+from .encoding import (
+    check_count,
+    decode_uvarints,
+    encode_uvarints,
+    read_uvarint,
+    write_uvarint,
+)
 
 
 @dataclass
@@ -72,9 +79,9 @@ class DynamicCallGraph:
         """
         buf = bytearray()
         write_uvarint(buf, len(self))
-        for func_idx, trace_id in zip(self.node_func, self.node_trace):
-            write_uvarint(buf, func_idx)
-            write_uvarint(buf, trace_id)
+        buf += encode_uvarints(
+            list(chain.from_iterable(zip(self.node_func, self.node_trace)))
+        )
         return bytes(buf)
 
     @classmethod
@@ -86,15 +93,14 @@ class DynamicCallGraph:
         """
         count, offset = read_uvarint(data, 0)
         check_count(count, data, offset, min_bytes=2)
-        dcg = cls()
-        for _ in range(count):
-            func_idx, offset = read_uvarint(data, offset)
-            trace_id, offset = read_uvarint(data, offset)
-            node = dcg.add_node(func_idx, -1)
-            dcg.set_trace(node, trace_id)
+        values, offset = decode_uvarints(data, offset, 2 * count)
         if offset != len(data):
             raise ValueError("trailing bytes after DCG")
-        return dcg
+        return cls(
+            node_func=array("I", values[0::2]),
+            node_trace=array("I", values[1::2]),
+            node_parent=array("q", [-1]) * count,
+        )
 
     def stats(self) -> Dict[str, int]:
         """Basic size numbers used by the experiment tables."""

@@ -19,7 +19,15 @@ import os
 from array import array
 from typing import BinaryIO, Iterator, List, Tuple, Union
 
-from .encoding import check_count, read_string, read_uvarint, write_string, write_uvarint
+from .encoding import (
+    check_count,
+    decode_uvarints,
+    encode_uvarints,
+    read_string,
+    read_uvarint,
+    write_string,
+    write_uvarint,
+)
 from .wpp import BLOCK, ENTER, LEAVE, WppTrace
 
 MAGIC = b"WPP1"
@@ -35,8 +43,7 @@ def write_wpp(trace: WppTrace, path: PathLike) -> int:
     for name in trace.func_names:
         write_string(buf, name)
     write_uvarint(buf, len(trace.events))
-    for packed in trace.events:
-        write_uvarint(buf, packed)
+    buf += encode_uvarints(trace.events)
     data = bytes(buf)
     with open(path, "wb") as fh:
         fh.write(data)
@@ -73,11 +80,8 @@ def read_wpp(path: PathLike) -> WppTrace:
         names.append(name)
     n_events, offset = read_uvarint(data, offset)
     check_count(n_events, data, offset)
-    events = array("Q")
-    for _ in range(n_events):
-        packed, offset = read_uvarint(data, offset)
-        events.append(packed)
-    return WppTrace(func_names=names, events=events)
+    values, offset = decode_uvarints(data, offset, n_events)
+    return WppTrace(func_names=names, events=array("Q", values))
 
 
 def scan_function_traces(
@@ -108,12 +112,13 @@ def scan_function_traces(
         return []
 
     n_events, offset = read_uvarint(data, offset)
+    check_count(n_events, data, offset)
+    events, offset = decode_uvarints(data, offset, n_events)
     results: List[Tuple[int, ...]] = []
     # Stack holds, per open activation, either a block list (target
     # function) or None (any other function).
     stack: List[object] = []
-    for _ in range(n_events):
-        packed, offset = read_uvarint(data, offset)
+    for packed in events:
         kind = packed & 0x3
         arg = packed >> 2
         if kind == ENTER:

@@ -15,7 +15,7 @@ tracer; :func:`collect_partitioned` is the drop-in replacement for
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .dcg import DynamicCallGraph
 from .partition import PartitionedWpp, PathTrace
@@ -55,6 +55,21 @@ class OnlinePartitioner:
         self._stack[-1][1].append(block_id)
         self._events += 1
 
+    def block_run(self, buf, n: Optional[int] = None) -> None:
+        """Ingest a straight-line run of BLOCK ids in one call.
+
+        Equivalent to ``n`` :meth:`block` calls but a single
+        ``list.extend`` onto the open activation's block list.  ``buf``
+        is any sequence of block ids; ``n`` bounds how many of its
+        leading entries are valid (default: all).
+        """
+        if not self._stack:
+            raise ValueError("block event outside any activation")
+        if n is None:
+            n = len(buf)
+        self._stack[-1][1].extend(buf if n == len(buf) else buf[:n])
+        self._events += n
+
     def leave(self) -> None:
         if not self._stack:
             raise ValueError("unbalanced leave event")
@@ -66,8 +81,19 @@ class OnlinePartitioner:
             trace_id = len(self._traces[func_idx])
             self._traces[func_idx].append(trace)
             self._intern[func_idx][trace] = trace_id
+            self._on_new_trace(func_idx, trace_id, trace)
         self._dcg.set_trace(node, trace_id)
         self._events += 1
+
+    def _on_new_trace(
+        self, func_idx: int, trace_id: int, trace: PathTrace
+    ) -> None:
+        """Hook: called once per newly interned unique trace.
+
+        The streaming compactor (:mod:`repro.compact.stream`) overrides
+        this to hand fresh traces to its compaction consumers while the
+        program is still running.
+        """
 
     # ---- results -----------------------------------------------------------
 

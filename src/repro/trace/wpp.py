@@ -130,6 +130,18 @@ class WppBuilder:
     def block(self, block_id: int) -> None:
         self._events.append(pack_event(BLOCK, block_id))
 
+    def block_run(self, buf, n: Optional[int] = None) -> None:
+        """Ingest a straight-line run of BLOCK ids in one call.
+
+        ``buf`` may be any sequence of block ids; ``n`` bounds how many
+        of its leading entries are valid (default: all).  One packing
+        list comprehension plus one ``array.extend`` replaces ``n``
+        :meth:`block` calls.
+        """
+        if n is None:
+            n = len(buf)
+        self._events.extend([(buf[i] << 2) | BLOCK for i in range(n)])
+
     def leave(self) -> None:
         self._events.append(pack_event(LEAVE))
 

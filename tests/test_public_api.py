@@ -55,6 +55,7 @@ class TestExports:
             "CompactResult",
             "MetricsRegistry",
             "Session",
+            "StreamResult",
             "__version__",
             "analyze",
             "collect_wpp",
@@ -62,6 +63,7 @@ class TestExports:
             "query",
             "run_program",
             "stats",
+            "stream_compact",
             "trace",
         ]
         assert callable(repro.trace)
@@ -69,6 +71,7 @@ class TestExports:
         assert callable(repro.query)
         assert callable(repro.stats)
         assert callable(repro.analyze)
+        assert callable(repro.stream_compact)
 
     def test_facade_verbs_are_api_objects(self):
         import repro

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.interp import run_program
+from repro.interp import FuelExhausted, run_program
 from repro.trace import (
     OnlinePartitioner,
     collect_partitioned,
@@ -11,6 +11,22 @@ from repro.trace import (
     reconstruct_wpp,
 )
 from repro.workloads import figure1_program, workload
+
+
+class _LegacyShim:
+    """Hide ``block_run`` so the interpreter uses per-event dispatch."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def enter(self, func_name):
+        self._inner.enter(func_name)
+
+    def block(self, block_id):
+        self._inner.block(block_id)
+
+    def leave(self):
+        self._inner.leave()
 
 
 def assert_partitions_equal(a, b):
@@ -68,6 +84,34 @@ class TestStreamingProperties:
         with pytest.raises(ValueError, match="unbalanced"):
             tracer.leave()
 
+    def test_block_run_outside_activation_raises(self):
+        tracer = OnlinePartitioner()
+        with pytest.raises(ValueError, match="outside"):
+            tracer.block_run([1, 2, 3], 3)
+
+    def test_block_run_respects_n(self):
+        tracer = OnlinePartitioner()
+        tracer.enter("f")
+        tracer.block_run([1, 2, 3, 99, 99], 3)
+        tracer.leave()
+        part = tracer.finish()
+        assert part.unique_traces("f") == [(1, 2, 3)]
+        assert tracer.events_seen == 5  # enter + 3 blocks + leave
+
+    def test_block_run_defaults_to_full_buffer(self):
+        tracer = OnlinePartitioner()
+        tracer.enter("f")
+        tracer.block_run([4, 5])
+        tracer.leave()
+        assert tracer.finish().unique_traces("f") == [(4, 5)]
+
+    def test_finish_rejects_open_activation_after_block_run(self):
+        tracer = OnlinePartitioner()
+        tracer.enter("f")
+        tracer.block_run([1, 2], 2)
+        with pytest.raises(ValueError, match="still open"):
+            tracer.finish()
+
     def test_interning_keeps_memory_compact(self):
         """1000 identical activations store one trace, 1000 DCG nodes."""
         tracer = OnlinePartitioner()
@@ -83,3 +127,44 @@ class TestStreamingProperties:
         assert part.unique_trace_counts()["f"] == 1
         assert part.call_counts()["f"] == 1000
         assert len(part.dcg) == 1001
+
+
+class TestBatchedProtocol:
+    """The run-buffer flush path is event-for-event the legacy path."""
+
+    def test_flush_ordering_matches_legacy(self, caller_program):
+        batched = OnlinePartitioner()
+        run_program(caller_program, tracer=batched)
+        legacy = OnlinePartitioner()
+        run_program(caller_program, tracer=_LegacyShim(legacy))
+        assert_partitions_equal(batched.finish(), legacy.finish())
+        assert batched.events_seen == legacy.events_seen
+
+    def test_flush_ordering_matches_legacy_on_workload(self):
+        program, _spec = workload("perl-like", scale=0.1)
+        batched = OnlinePartitioner()
+        run_program(program, tracer=batched)
+        legacy = OnlinePartitioner()
+        run_program(program, tracer=_LegacyShim(legacy))
+        assert_partitions_equal(batched.finish(), legacy.finish())
+
+    def test_max_events_truncation_mid_activation(self):
+        """FuelExhausted mid-activation: pending runs flush first, and
+        the tracer sees exactly max_events blocks either way."""
+        program, _spec = workload("perl-like", scale=0.1)
+        budget = 777  # cuts off inside some activation
+
+        batched = OnlinePartitioner()
+        with pytest.raises(FuelExhausted):
+            run_program(program, tracer=batched, max_events=budget)
+        legacy = OnlinePartitioner()
+        with pytest.raises(FuelExhausted):
+            run_program(
+                program, tracer=_LegacyShim(legacy), max_events=budget
+            )
+
+        assert batched.events_seen == legacy.events_seen
+        assert batched.open_activations == legacy.open_activations > 0
+        assert batched._traces == legacy._traces
+        with pytest.raises(ValueError, match="still open"):
+            batched.finish()
