@@ -4,7 +4,8 @@ A from-scratch reproduction of Zhang & Gupta, "Timestamped Whole Program
 Path Representation and its Applications" (PLDI 2001).
 
 The package-level surface is the :mod:`repro.api` facade -- a
-:class:`Session` plus four verbs:
+:class:`Session` plus its verbs -- and the store-centric serving layer
+of :mod:`repro.store`:
 
 >>> import repro
 >>> wpp = repro.trace(program)          # run + collect the WPP
@@ -12,6 +13,12 @@ The package-level surface is the :mod:`repro.api` facade -- a
 >>> result.save("run.twpp")
 >>> repro.query("run.twpp", "main")     # indexed per-function read
 >>> repro.stats(wpp).overall_factor     # Tables 1-3 accounting
+>>> store = repro.Session().store("traces/")   # many files, one budget
+>>> store.query(repro.QueryRequest(trace="run", functions=("main",)))
+
+The old ``repro.run_program`` / ``repro.collect_wpp`` aliases
+(deprecated since 1.1) are gone; import them from :mod:`repro.interp` /
+:mod:`repro.trace`, or use :func:`repro.trace` / :meth:`Session.trace`.
 
 Subpackages
 -----------
@@ -27,6 +34,11 @@ Subpackages
     series compaction, LZW, the indexed ``.twpp`` file format, the
     parallel sharded compaction engine, and the cached mmap-backed
     query-serving engine (``repro.compact.qserve``).
+``repro.store``
+    The serving layer: a directory of traces behind a SQLite catalog,
+    warm engines under a global byte budget with cross-file LRU
+    eviction and request coalescing, typed request dataclasses, and
+    the ``repro-wpp serve`` HTTP daemon.
 ``repro.obs``
     Observability: the metrics registry (stage timers, counters, byte
     histograms) threaded through the pipeline.
@@ -43,9 +55,7 @@ Subpackages
     Experiment drivers regenerating every table and figure.
 """
 
-import warnings as _warnings
-
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from .api import (
     CompactResult,
@@ -58,52 +68,30 @@ from .api import (
     stream_compact,
     trace,
 )
-from .interp import run_program as _run_program
 from .obs import MetricsRegistry
-from .trace import collect_wpp as _collect_wpp
+from .store import (
+    AnalyzeRequest,
+    QueryRequest,
+    StatsRequest,
+    TraceServer,
+    TraceStore,
+)
 
 __all__ = [
+    "AnalyzeRequest",
     "CompactResult",
     "MetricsRegistry",
+    "QueryRequest",
     "Session",
+    "StatsRequest",
     "StreamResult",
+    "TraceServer",
+    "TraceStore",
     "__version__",
     "analyze",
-    "collect_wpp",
     "compact",
     "query",
-    "run_program",
     "stats",
     "stream_compact",
     "trace",
 ]
-
-
-def run_program(*args, **kwargs):
-    """Deprecated alias for :func:`repro.interp.run_program`.
-
-    Import it from :mod:`repro.interp`, or use :func:`repro.trace` /
-    :meth:`repro.Session.trace` for the run-and-collect path.
-    """
-    _warnings.warn(
-        "repro.run_program is deprecated; use repro.trace(program) or "
-        "repro.interp.run_program",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _run_program(*args, **kwargs)
-
-
-def collect_wpp(*args, **kwargs):
-    """Deprecated alias for :func:`repro.trace.collect_wpp`.
-
-    Use :func:`repro.trace` / :meth:`repro.Session.trace`, or import
-    ``collect_wpp`` from :mod:`repro.trace`.
-    """
-    _warnings.warn(
-        "repro.collect_wpp is deprecated; use repro.trace(program) or "
-        "repro.trace.collect_wpp",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _collect_wpp(*args, **kwargs)

@@ -35,6 +35,7 @@ already-partitioned WPP, or a ``.wpp`` path; ``query`` accepts a
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -113,12 +114,14 @@ class Session:
         self.cache_bytes = cache_bytes
         self.threads = threads
         self._engines: Dict[str, QueryEngine] = {}
+        self._engines_lock = threading.Lock()
 
     # ---- lifecycle ----------------------------------------------------
 
     def close(self) -> None:
         """Close every query engine the session opened."""
-        engines, self._engines = list(self._engines.values()), {}
+        with self._engines_lock:
+            engines, self._engines = list(self._engines.values()), {}
         for engine in engines:
             engine.close()
 
@@ -220,6 +223,9 @@ class Session:
         against the same file share one mmap and one warm cache.
         """
         key = os.fspath(twpp)
+        # Lock-free fast path: dict reads are atomic, and the lock
+        # never protected the get-then-use window anyway (eviction can
+        # always race a caller holding a reference).
         engine = self._engines.get(key)
         if engine is None:
             engine = QueryEngine(
@@ -228,8 +234,60 @@ class Session:
                 threads=self.threads,
                 metrics=self.metrics,
             )
-            self._engines[key] = engine
+            with self._engines_lock:
+                # Another thread may have raced us here; keep the first.
+                winner = self._engines.setdefault(key, engine)
+            if winner is not engine:
+                engine.close()
+                engine = winner
         return engine
+
+    def evict(self, twpp: PathLike) -> bool:
+        """Release one path's warm engine (its cache and mmap) without
+        closing the whole session.
+
+        The store-level LRU (:class:`~repro.store.store.TraceStore`)
+        evicts whole files through this; it is also the manual valve
+        when one huge trace shouldn't hold its budget until
+        :meth:`close`.  Returns True when an engine was actually open.
+        The next :meth:`query` against the path transparently opens a
+        fresh (cold) engine.
+        """
+        key = os.fspath(twpp)
+        with self._engines_lock:
+            engine = self._engines.pop(key, None)
+        if engine is None:
+            return False
+        engine.close()
+        self.metrics.inc("session.evictions")
+        return True
+
+    def store(
+        self,
+        root: PathLike,
+        cache_bytes: Optional[int] = None,
+        catalog_path: Optional[PathLike] = None,
+        jobs: int = 1,
+    ):
+        """Open a :class:`~repro.store.store.TraceStore` over a directory
+        of ``.twpp`` files, backed by this session's warm engines.
+
+        ``cache_bytes`` is the *global* decoded-bytes budget across all
+        of the store's files (default: the session's per-engine budget);
+        the store evicts least-recently-queried files through
+        :meth:`evict` to stay inside it.  ``catalog_path`` overrides
+        where the SQLite catalog lives (default ``catalog.sqlite`` in
+        the store directory); ``jobs`` fans the initial catalog scan.
+        """
+        from .store.store import TraceStore
+
+        return TraceStore(
+            root,
+            session=self,
+            cache_bytes=cache_bytes,
+            catalog_path=catalog_path,
+            jobs=jobs,
+        )
 
     def query(
         self,

@@ -15,10 +15,15 @@ Usage (also via ``python -m repro``)::
     repro-wpp analyze run.twpp --program prog.ir --fact load:100 -j 4
     repro-wpp diff good.twpp bad.twpp                # behavioural run diff
     repro-wpp hotpaths run.wpp                       # hot acyclic paths
+    repro-wpp scan traces/                           # refresh store catalog
+    repro-wpp serve traces/ --port 8080              # trace-serving daemon
     repro-wpp experiments --scale 1.0                # all tables+figures
 
 Every command reads/writes the documented on-disk formats, so the CLI
-composes with the library and with itself.
+composes with the library and with itself.  The pipeline commands share
+two parent parsers: ``--metrics-out`` (write the ``repro.metrics/1``
+JSON the run accumulated) and ``-j/--jobs`` (worker count, 0 = one per
+CPU) mean the same thing everywhere they appear.
 """
 
 from __future__ import annotations
@@ -82,22 +87,31 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             metrics.write_json(args.metrics_out)
             print(f"wrote {args.metrics_out}")
         return 0
+    from .obs import MetricsRegistry
+
+    metrics = MetricsRegistry()
     builder = WppBuilder()
-    result = run_program(
-        program,
-        args=args.arg,
-        inputs=args.input,
-        tracer=builder,
-        max_events=args.max_events,
-    )
-    wpp = builder.finish()
+    with metrics.timer("trace"):
+        result = run_program(
+            program,
+            args=args.arg,
+            inputs=args.input,
+            tracer=builder,
+            max_events=args.max_events,
+        )
+        wpp = builder.finish()
+    metrics.inc("trace.events", len(wpp))
     size = write_wpp(wpp, args.output)
+    metrics.inc("trace.bytes_written", size)
     print(
         f"traced {len(wpp)} events ({result.calls_made} calls), "
         f"wrote {args.output} ({size} bytes)"
     )
     if result.output:
         print("program output:", " ".join(map(str, result.output)))
+    if args.metrics_out:
+        metrics.write_json(args.metrics_out)
+        print(f"wrote {args.metrics_out}")
     return 0
 
 
@@ -194,8 +208,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"{path}: unknown format", file=sys.stderr)
         return 2
 
-    with Session(cache_bytes=args.cache_bytes, threads=args.threads) as s:
+    # -j is the generic fan-out spelling; --threads the historical one.
+    threads = args.threads
+    if not threads and args.jobs != 1:
+        threads = args.jobs
+    with Session(cache_bytes=args.cache_bytes, threads=threads) as s:
         results = s.query(path, names=args.functions)
+        metrics = s.metrics
     for name, traces in results.items():
         print(f"{name}: {len(traces)} {label}")
         limit = args.limit if args.limit > 0 else len(traces)
@@ -203,6 +222,83 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print("  " + ".".join(map(str, trace)))
         if len(traces) > limit:
             print(f"  ... ({len(traces) - limit} more)")
+    if args.metrics_out:
+        metrics.write_json(args.metrics_out)
+        print(f"wrote {args.metrics_out}")
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from .obs import MetricsRegistry
+    from .store.catalog import TraceCatalog
+    from .store.store import CATALOG_NAME
+
+    root = Path(args.store)
+    if not root.is_dir():
+        print(f"{args.store}: not a directory", file=sys.stderr)
+        return 2
+    metrics = MetricsRegistry()
+    catalog = TraceCatalog(root / CATALOG_NAME)
+    try:
+        with metrics.timer("store.scan"):
+            result = catalog.scan(root, jobs=args.jobs)
+        rows = catalog.traces()
+    finally:
+        catalog.close()
+    for name, amount in (
+        ("added", result.added),
+        ("updated", result.updated),
+        ("removed", result.removed),
+        ("unchanged", result.unchanged),
+    ):
+        if amount:
+            metrics.inc(f"store.scan.{name}", amount)
+    print(
+        f"{args.store}: {len(rows)} trace(s) catalogued "
+        f"(+{result.added} added, ~{result.updated} updated, "
+        f"-{result.removed} removed, {result.unchanged} unchanged)"
+    )
+    for row in rows:
+        print(
+            f"  {row.trace}: {row.functions} function(s), "
+            f"{row.calls} call(s), {row.size} bytes"
+            + ("" if row.has_program else "  [no .ir]")
+        )
+    for error in result.errors:
+        print(f"error: {error}", file=sys.stderr)
+    if args.metrics_out:
+        metrics.write_json(args.metrics_out)
+        print(f"wrote {args.metrics_out}")
+    return 1 if result.errors else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .api import Session
+    from .store.server import TraceServer
+
+    session = Session(
+        jobs=args.jobs,
+        cache_bytes=args.cache_bytes,
+        threads=args.threads or None,
+    )
+    store = session.store(args.store, jobs=args.jobs)
+    server = TraceServer(
+        store, host=args.host, port=args.port, verbose=args.verbose
+    )
+    print(
+        f"serving {args.store} ({len(store)} trace(s)) at {server.url}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        if args.metrics_out:
+            store.metrics.write_json(args.metrics_out)
+            print(f"wrote {args.metrics_out}", file=sys.stderr)
+        store.close()
+        session.close()
     return 0
 
 
@@ -339,8 +435,24 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argparse tree (exposed for tests and docs)."""
+    """Construct the argparse tree (exposed for tests and docs).
+
+    The pipeline subcommands share two argparse *parent* parsers
+    instead of per-command copies, so ``--metrics-out`` and
+    ``-j/--jobs`` spell and behave identically everywhere they appear.
+    """
     from .compact.qserve import DEFAULT_CACHE_BYTES
+
+    metrics_parent = argparse.ArgumentParser(add_help=False)
+    metrics_parent.add_argument(
+        "--metrics-out",
+        help="write the run's repro.metrics/1 JSON to this path",
+    )
+    jobs_parent = argparse.ArgumentParser(add_help=False)
+    jobs_parent.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes/threads (0 = one per CPU, 1 = serial)",
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro-wpp",
@@ -354,7 +466,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", help="write to file instead of stdout")
     p.set_defaults(func=_cmd_generate)
 
-    p = sub.add_parser("trace", help="run a textual-IR program, collect its WPP")
+    p = sub.add_parser("trace", help="run a textual-IR program, collect its WPP",
+                       parents=[metrics_parent, jobs_parent])
     p.add_argument("program", help="textual IR file")
     p.add_argument("-o", "--output", required=True,
                    help=".wpp output path (.twpp with --stream)")
@@ -365,21 +478,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-events", type=int, default=50_000_000)
     p.add_argument("--stream", action="store_true",
                    help="compact while executing and write a .twpp directly "
-                        "(overlapped trace->compact->write pipeline)")
-    p.add_argument("-j", "--jobs", type=int, default=1,
-                   help="streaming compaction consumer threads "
-                        "(0 = one per CPU; only with --stream)")
-    p.add_argument("--metrics-out",
-                   help="write ingest.* metrics JSON (only with --stream)")
+                        "(overlapped trace->compact->write pipeline; -j sets "
+                        "the consumer thread count)")
     p.set_defaults(func=_cmd_trace)
 
-    p = sub.add_parser("compact", help="compact a .wpp into an indexed .twpp")
+    p = sub.add_parser("compact", help="compact a .wpp into an indexed .twpp",
+                       parents=[metrics_parent, jobs_parent])
     p.add_argument("wpp", help=".wpp input path")
     p.add_argument("-o", "--output", required=True, help=".twpp output path")
-    p.add_argument("-j", "--jobs", type=int, default=1,
-                   help="compaction worker processes (0 = one per CPU)")
-    p.add_argument("--metrics-out",
-                   help="write per-stage metrics JSON to this path")
     p.set_defaults(func=_cmd_compact)
 
     p = sub.add_parser("sequitur", help="compress a .wpp with the Larus baseline")
@@ -392,7 +498,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_info)
 
     p = sub.add_parser(
-        "query", help="extract one or more functions' path traces"
+        "query", help="extract one or more functions' path traces",
+        parents=[metrics_parent, jobs_parent],
     )
     p.add_argument("file", help=".wpp, .twpp or .sqwp file")
     p.add_argument("functions", nargs="+", metavar="function",
@@ -404,12 +511,13 @@ def build_parser() -> argparse.ArgumentParser:
                         ".twpp serving (0 disables caching; default 64 MiB)")
     p.add_argument("--threads", type=int, default=0,
                    help="worker threads for batch .twpp queries "
-                        "(0 = auto, 1 = serial)")
+                        "(0 = auto, 1 = serial; synonym for -j)")
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser(
         "analyze",
         help="data-flow fact frequencies over a .twpp's path traces",
+        parents=[metrics_parent, jobs_parent],
     )
     p.add_argument("twpp", help=".twpp input path")
     p.add_argument("--program", required=True, help="textual IR file")
@@ -419,8 +527,6 @@ def build_parser() -> argparse.ArgumentParser:
                    default=[], metavar="NAME",
                    help="restrict to this function (repeatable; "
                         "default: every function)")
-    p.add_argument("-j", "--jobs", type=int, default=1,
-                   help="analysis worker processes (0 = one per CPU)")
     p.add_argument("--threads", type=int, default=0,
                    help="worker threads for the batch trace pull "
                         "(0 = auto, 1 = serial)")
@@ -428,17 +534,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="hot-fact frequency threshold (default 0.9)")
     p.add_argument("--limit", type=int, default=10,
                    help="max hot blocks to print per trace")
-    p.add_argument("--metrics-out",
-                   help="write analysis metrics JSON to this path")
     p.set_defaults(func=_cmd_analyze)
 
-    p = sub.add_parser("stats", help="compaction stage report for a .wpp")
+    p = sub.add_parser("stats", help="compaction stage report for a .wpp",
+                       parents=[metrics_parent, jobs_parent])
     p.add_argument("wpp")
-    p.add_argument("-j", "--jobs", type=int, default=1,
-                   help="compaction worker processes (0 = one per CPU)")
-    p.add_argument("--metrics-out",
-                   help="write per-stage metrics JSON to this path")
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "scan",
+        help="build/refresh a trace store's SQLite catalog",
+        parents=[metrics_parent, jobs_parent],
+    )
+    p.add_argument("store", help="directory of .twpp files")
+    p.set_defaults(func=_cmd_scan)
+
+    p = sub.add_parser(
+        "serve",
+        help="HTTP daemon serving a directory of .twpp traces",
+        parents=[metrics_parent, jobs_parent],
+    )
+    p.add_argument("store", help="directory of .twpp files")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port (0 = ephemeral; the chosen port is "
+                        "printed at startup)")
+    p.add_argument("--cache-bytes", type=int, default=DEFAULT_CACHE_BYTES,
+                   help="global decoded-bytes budget across every served "
+                        "file (LRU-evicts whole files; default 64 MiB)")
+    p.add_argument("--threads", type=int, default=0,
+                   help="worker threads per engine for batch pulls "
+                        "(0 = auto)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every request to stderr")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "coverage", help="block/edge coverage of a run against its program"

@@ -249,6 +249,24 @@ class LruByteCache:
             self._inc("hits")
             return value
 
+    def peek(self, key, default=None):
+        """Like :meth:`get`, but an absent key is not counted as a miss.
+
+        The fast path for layered callers: they fall through to a
+        counting lookup (:meth:`get`) on absence, so counting the miss
+        here would double it.  A present key still counts as a hit and
+        is refreshed in the LRU order.
+        """
+        with self._lock:
+            try:
+                value, _cost = self._entries[key]
+            except KeyError:
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._inc("hits")
+            return value
+
     def put(self, key, value, cost: int) -> None:
         cost = int(cost)
         with self._lock:
@@ -402,6 +420,17 @@ class QueryEngine:
             self._cache.put(key, fc, _record_cost(entry))
         return fc
 
+    def cached_traces(self, name: str) -> Optional[List[PathTrace]]:
+        """One function's traces if already cached, else ``None``.
+
+        Never decodes.  A hit counts toward the cache metrics; an
+        absence does not count as a miss -- callers fall through to
+        :meth:`traces`, which will.  The serving layer uses this to
+        skip its decode-coalescing protocol on warm keys.
+        """
+        traces = self._cache.peek(("traces", name))
+        return None if traces is None else list(traces)
+
     def traces(self, name: str) -> List[PathTrace]:
         """One function's unique original path traces (DBBs expanded)."""
         key = ("traces", name)
@@ -485,6 +514,7 @@ class QueryEngine:
 
     def _decode(self, entry: FunctionIndexEntry) -> FunctionCompact:
         t0 = time.perf_counter()
+        self._count("qserve.decodes")
         data = self._source.read_section(entry)
         try:
             fc = _parse_section(data, entry.name, entry.call_count)

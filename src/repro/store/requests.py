@@ -1,0 +1,214 @@
+"""The typed request model every TraceStore transport shares.
+
+One request dataclass per store verb -- :class:`QueryRequest`,
+:class:`AnalyzeRequest`, :class:`StatsRequest` -- consumed identically
+by in-process :class:`~repro.store.store.TraceStore` calls, the CLI,
+and the HTTP daemon (which is therefore a thin adapter, not a fourth
+bespoke surface).  Each class round-trips through plain dicts
+(:meth:`to_dict` / :meth:`from_dict`) and parses itself from URL query
+parameters (:meth:`from_query`), validating as it goes: every malformed
+input raises :class:`RequestError`, which the HTTP layer maps to a 400
+and the CLI to exit code 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "AnalyzeRequest",
+    "QueryRequest",
+    "RequestError",
+    "StatsRequest",
+]
+
+
+class RequestError(ValueError):
+    """A malformed store request (HTTP 400 / CLI exit 2)."""
+
+
+def _reject_unknown(cls, data: Mapping) -> None:
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise RequestError(
+            f"unknown {cls.__name__} field(s): {', '.join(unknown)}"
+        )
+
+
+def _want_str(value, what: str) -> str:
+    if not isinstance(value, str) or not value:
+        raise RequestError(f"{what} must be a non-empty string")
+    return value
+
+
+def _want_names(value, what: str) -> Tuple[str, ...]:
+    if value is None:
+        return ()
+    if isinstance(value, str):
+        value = [value]
+    if not isinstance(value, (list, tuple)) or not all(
+        isinstance(v, str) and v for v in value
+    ):
+        raise RequestError(f"{what} must be a list of non-empty strings")
+    return tuple(value)
+
+
+def _want_limit(value) -> Optional[int]:
+    if value is None:
+        return None
+    try:
+        limit = int(value)
+    except (TypeError, ValueError):
+        raise RequestError("limit must be an integer") from None
+    if limit < 0:
+        raise RequestError("limit must be >= 0")
+    return limit
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """Path traces for one trace's functions.
+
+    ``trace`` names a catalog entry (the ``.twpp`` file's stem);
+    ``functions`` restricts the batch (empty = every function, in
+    storage order); ``limit`` caps the traces returned per function
+    (None = all).
+    """
+
+    trace: str
+    functions: Tuple[str, ...] = ()
+    limit: Optional[int] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "trace", _want_str(self.trace, "trace"))
+        object.__setattr__(
+            self, "functions", _want_names(self.functions, "functions")
+        )
+        object.__setattr__(self, "limit", _want_limit(self.limit))
+
+    def to_dict(self) -> Dict:
+        doc: Dict = {"trace": self.trace}
+        if self.functions:
+            doc["functions"] = list(self.functions)
+        if self.limit is not None:
+            doc["limit"] = self.limit
+        return doc
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "QueryRequest":
+        if not isinstance(data, Mapping):
+            raise RequestError("query request body must be a JSON object")
+        _reject_unknown(cls, data)
+        if "trace" not in data:
+            raise RequestError("query request needs a trace")
+        return cls(
+            trace=data["trace"],
+            functions=_want_names(data.get("functions"), "functions"),
+            limit=data.get("limit"),
+        )
+
+    @classmethod
+    def from_query(cls, params: Mapping[str, List[str]]) -> "QueryRequest":
+        """Build from parsed URL query parameters (``parse_qs`` shape)."""
+        _check_params(cls, params, {"trace": "trace", "fn": "functions",
+                                    "limit": "limit"})
+        traces = params.get("trace", [])
+        if len(traces) != 1:
+            raise RequestError("query needs exactly one trace parameter")
+        limits = params.get("limit", [])
+        if len(limits) > 1:
+            raise RequestError("at most one limit parameter")
+        return cls(
+            trace=traces[0],
+            functions=tuple(params.get("fn", [])),
+            limit=limits[0] if limits else None,
+        )
+
+
+@dataclass(frozen=True)
+class AnalyzeRequest:
+    """Data-flow fact frequencies over one trace's path traces.
+
+    ``fact`` is a spec string (``load:ADDR``, ``expr:a,b``, ``def:x``);
+    ``program`` is the textual-IR file, resolved *relative to the store
+    root* (default: ``<trace>.ir`` beside the ``.twpp``); ``functions``
+    restricts the sweep (empty = every traced function).
+    """
+
+    trace: str
+    fact: str
+    functions: Tuple[str, ...] = ()
+    program: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "trace", _want_str(self.trace, "trace"))
+        object.__setattr__(self, "fact", _want_str(self.fact, "fact"))
+        object.__setattr__(
+            self, "functions", _want_names(self.functions, "functions")
+        )
+        if self.program is not None:
+            object.__setattr__(
+                self, "program", _want_str(self.program, "program")
+            )
+
+    def to_dict(self) -> Dict:
+        doc: Dict = {"trace": self.trace, "fact": self.fact}
+        if self.functions:
+            doc["functions"] = list(self.functions)
+        if self.program is not None:
+            doc["program"] = self.program
+        return doc
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AnalyzeRequest":
+        if not isinstance(data, Mapping):
+            raise RequestError("analyze request body must be a JSON object")
+        _reject_unknown(cls, data)
+        for required in ("trace", "fact"):
+            if required not in data:
+                raise RequestError(f"analyze request needs a {required}")
+        return cls(
+            trace=data["trace"],
+            fact=data["fact"],
+            functions=_want_names(data.get("functions"), "functions"),
+            program=data.get("program"),
+        )
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Store- or trace-level serving stats (no trace = whole store)."""
+
+    trace: Optional[str] = None
+
+    def __post_init__(self):
+        if self.trace is not None:
+            object.__setattr__(self, "trace", _want_str(self.trace, "trace"))
+
+    def to_dict(self) -> Dict:
+        return {} if self.trace is None else {"trace": self.trace}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "StatsRequest":
+        if not isinstance(data, Mapping):
+            raise RequestError("stats request body must be a JSON object")
+        _reject_unknown(cls, data)
+        return cls(trace=data.get("trace"))
+
+    @classmethod
+    def from_query(cls, params: Mapping[str, List[str]]) -> "StatsRequest":
+        _check_params(cls, params, {"trace": "trace"})
+        traces = params.get("trace", [])
+        if len(traces) > 1:
+            raise RequestError("at most one trace parameter")
+        return cls(trace=traces[0] if traces else None)
+
+
+def _check_params(cls, params: Mapping, allowed: Mapping[str, str]) -> None:
+    unknown = sorted(set(params) - set(allowed))
+    if unknown:
+        raise RequestError(
+            f"unknown {cls.__name__} parameter(s): {', '.join(unknown)}"
+        )

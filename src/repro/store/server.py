@@ -1,0 +1,251 @@
+"""The trace-serving HTTP daemon: a thin adapter over a TraceStore.
+
+``repro-wpp serve DIR`` runs this server.  It is deliberately small:
+every endpoint parses its input into one of the typed request
+dataclasses of :mod:`repro.store.requests`, calls the corresponding
+:class:`~repro.store.store.TraceStore` verb, and writes the returned
+dict as canonical JSON -- so an HTTP response body is byte-identical
+to ``canonical_json(store.verb(request))`` computed in-process, and the
+server adds no semantics of its own.  Endpoints:
+
+=====================  ====================================================
+``GET /traces``        catalog listing (``?refresh=1`` rescans first)
+``GET /query``         ``?trace=NAME&fn=F&fn=G&limit=N`` path traces
+``POST /analyze``      JSON :class:`AnalyzeRequest` body, fact frequencies
+``GET /stats``         store stats, or ``?trace=NAME`` for one trace
+``GET /metrics``       the session's ``repro.metrics/1`` document
+=====================  ====================================================
+
+Errors are JSON too: 400 for malformed requests
+(:class:`~repro.store.requests.RequestError`), 404 for unknown
+traces/functions/routes, 405 for wrong methods, 500 for the rest.
+Transport is stdlib :class:`~http.server.ThreadingHTTPServer`; the
+store's coalescing and global cache budget do the heavy lifting.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .requests import AnalyzeRequest, QueryRequest, RequestError, StatsRequest
+from .store import TraceNotFound, TraceStore
+
+#: Largest accepted request body (1 MiB): analyze requests are tiny.
+MAX_BODY_BYTES = 1 << 20
+
+__all__ = ["MAX_BODY_BYTES", "TraceServer", "canonical_json", "serve"]
+
+
+def canonical_json(doc: Dict) -> bytes:
+    """The store wire encoding: sorted keys, minimal separators, UTF-8.
+
+    Both the HTTP layer and in-process callers that want byte-for-byte
+    comparisons encode through this one function.
+    """
+    return json.dumps(
+        doc, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the store; owns no state of its own."""
+
+    server_version = "repro-wpp-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def store(self) -> TraceStore:
+        return self.server.store  # type: ignore[attr-defined]
+
+    # ---- plumbing -----------------------------------------------------
+
+    def log_message(self, fmt, *args):  # noqa: N802 (stdlib name)
+        if self.server.verbose:  # type: ignore[attr-defined]
+            sys.stderr.write(
+                "%s - %s\n" % (self.address_string(), fmt % args)
+            )
+
+    def _reply(self, status: int, doc: Dict) -> None:
+        body = canonical_json(doc) + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _fail(self, status: int, message: str) -> None:
+        self.store._inc("http.errors")
+        self._reply(status, {"error": message})
+
+    def _dispatch(self, handler) -> None:
+        self.store._inc("http.requests")
+        try:
+            status, doc = handler()
+        except RequestError as exc:
+            self._fail(400, str(exc))
+        except TraceNotFound as exc:
+            self._fail(404, str(exc))
+        except BrokenPipeError:  # client went away mid-reply
+            pass
+        except Exception as exc:  # noqa: BLE001 - the daemon must survive
+            self._fail(500, f"{type(exc).__name__}: {exc}")
+        else:
+            self._reply(status, doc)
+
+    # ---- routes -------------------------------------------------------
+
+    def do_GET(self):  # noqa: N802 (stdlib name)
+        url = urlsplit(self.path)
+        params = parse_qs(url.query, keep_blank_values=True)
+        route = {
+            "/traces": lambda: self._get_traces(params),
+            "/query": lambda: self._get_query(params),
+            "/stats": lambda: self._get_stats(params),
+            "/metrics": lambda: self._get_metrics(params),
+        }.get(url.path)
+        if route is None:
+            if url.path == "/analyze":
+                return self._method_not_allowed("POST")
+            self.store._inc("http.requests")
+            return self._fail(404, f"no such endpoint: {url.path}")
+        self._dispatch(route)
+
+    def do_POST(self):  # noqa: N802 (stdlib name)
+        url = urlsplit(self.path)
+        if url.path != "/analyze":
+            if url.path in ("/traces", "/query", "/stats", "/metrics"):
+                return self._method_not_allowed("GET")
+            self.store._inc("http.requests")
+            return self._fail(404, f"no such endpoint: {url.path}")
+        self._dispatch(self._post_analyze)
+
+    def _method_not_allowed(self, allowed: str) -> None:
+        self.store._inc("http.requests")
+        self.send_response(405)
+        body = canonical_json({"error": f"use {allowed}"}) + b"\n"
+        self.send_header("Allow", allowed)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.store._inc("http.errors")
+
+    # ---- endpoints ----------------------------------------------------
+
+    def _get_traces(self, params) -> Tuple[int, Dict]:
+        refresh = params.pop("refresh", ["0"])[-1] not in ("0", "", "false")
+        if params:
+            raise RequestError(
+                "unknown traces parameter(s): " + ", ".join(sorted(params))
+            )
+        return 200, self.store.traces(refresh=refresh)
+
+    def _get_query(self, params) -> Tuple[int, Dict]:
+        return 200, self.store.query(QueryRequest.from_query(params))
+
+    def _get_stats(self, params) -> Tuple[int, Dict]:
+        return 200, self.store.stats(StatsRequest.from_query(params))
+
+    def _get_metrics(self, params) -> Tuple[int, Dict]:
+        if params:
+            raise RequestError("metrics takes no parameters")
+        return 200, self.store.metrics_snapshot()
+
+    def _post_analyze(self) -> Tuple[int, Dict]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise RequestError("bad Content-Length") from None
+        if length <= 0:
+            raise RequestError("analyze needs a JSON request body")
+        if length > MAX_BODY_BYTES:
+            raise RequestError(f"request body over {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestError(f"request body is not JSON: {exc}") from None
+        return 200, self.store.analyze(AnalyzeRequest.from_dict(data))
+
+
+class TraceServer:
+    """A :class:`ThreadingHTTPServer` bound to one TraceStore.
+
+    ``port=0`` binds an ephemeral port; read the chosen one back from
+    :attr:`port` / :attr:`url`.  :meth:`serve_forever` blocks (the CLI
+    path); :meth:`start` / :meth:`stop` run it on a daemon thread (the
+    test and embedding path).
+    """
+
+    def __init__(
+        self,
+        store: TraceStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self.store = store
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.store = store  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Serve until interrupted (the ``repro-wpp serve`` main loop)."""
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._httpd.server_close()
+
+    def start(self) -> "TraceServer":
+        """Serve on a background daemon thread; returns self."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the background thread."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "TraceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve(
+    root,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    store: Optional[TraceStore] = None,
+    verbose: bool = False,
+) -> TraceServer:
+    """Build a TraceStore for ``root`` (unless given) and a server on it."""
+    if store is None:
+        store = TraceStore(root)
+    return TraceServer(store, host=host, port=port, verbose=verbose)

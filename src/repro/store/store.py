@@ -1,0 +1,470 @@
+"""A directory of ``.twpp`` traces served warm under one byte budget.
+
+:class:`TraceStore` is the store-centric core the public API now
+fronts: a directory of compacted traces, the SQLite
+:class:`~repro.store.catalog.TraceCatalog` describing them, and one
+warm :class:`~repro.compact.qserve.QueryEngine` per *recently used*
+file -- held through the owning :class:`~repro.api.Session` under a
+**global** cache byte budget with LRU eviction across files
+(:meth:`Session.evict` releases one file's engine; the store decides
+which).  Concurrent requests for the same (file, function) are
+coalesced into a single decode via per-key in-flight futures, so a
+thundering herd on a cold hot key costs one section parse, not N.
+
+The three verbs -- :meth:`query`, :meth:`analyze`, :meth:`stats` --
+consume the typed request dataclasses of :mod:`repro.store.requests`
+and return JSON-ready dicts, so the in-process API, the CLI, and the
+HTTP daemon (:mod:`repro.store.server`) share one request model and
+produce identical responses.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..compact.qserve import QueryEngine
+from .catalog import CatalogTrace, ScanResult, TraceCatalog
+from .requests import (
+    AnalyzeRequest,
+    QueryRequest,
+    RequestError,
+    StatsRequest,
+)
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Default catalog filename inside the store directory.
+CATALOG_NAME = "catalog.sqlite"
+
+__all__ = ["CATALOG_NAME", "TraceNotFound", "TraceStore"]
+
+
+class TraceNotFound(KeyError):
+    """An unknown trace or function (HTTP 404 / CLI exit 2)."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message
+        return self.args[0] if self.args else ""
+
+
+class TraceStore:
+    """Warm, budgeted, coalescing access to a directory of traces.
+
+    Build one through :meth:`repro.api.Session.store`.  ``cache_bytes``
+    is the *global* decoded-bytes budget across every file (defaulting
+    to the session's per-engine budget); when the sum of the warm
+    engines' cached bytes exceeds it, least-recently-*queried* files
+    lose their engine entirely (`store.evictions` counts them).  The
+    catalog is scanned once at construction; call :meth:`scan` (or pass
+    ``refresh=True`` to :meth:`traces`) after adding or removing files.
+    """
+
+    def __init__(
+        self,
+        root: PathLike,
+        session=None,
+        cache_bytes: Optional[int] = None,
+        catalog_path: Optional[PathLike] = None,
+        jobs: int = 1,
+    ) -> None:
+        from ..api import Session
+
+        self.root = Path(root).resolve()
+        if not self.root.is_dir():
+            raise FileNotFoundError(f"store root {str(root)!r} is not a directory")
+        self._session = session if session is not None else Session()
+        self._owns_session = session is None
+        self.cache_bytes = (
+            self._session.cache_bytes if cache_bytes is None else int(cache_bytes)
+        )
+        self.catalog = TraceCatalog(
+            self.root / CATALOG_NAME if catalog_path is None else catalog_path
+        )
+        self._lru: "OrderedDict[str, str]" = OrderedDict()  # trace -> path
+        # Hot-path memo of catalog rows: the SQLite catalog is the
+        # durable index for discovery and rescan; per-request lookups
+        # are served from memory and dropped whenever a scan changes
+        # anything.
+        self._entries: Dict[str, CatalogTrace] = {}
+        self._functions: Dict[str, List[str]] = {}
+        self._function_sets: Dict[str, frozenset] = {}
+        self._inflight: Dict[Tuple[str, str], Future] = {}
+        self._lock = threading.Lock()
+        # The registry is lock-free by design; the store serves many
+        # threads, so its own metric writes go through this lock.
+        self._metrics_lock = threading.Lock()
+        self.scan(jobs=jobs)
+
+    def _inc(self, name: str, amount: int = 1) -> None:
+        with self._metrics_lock:
+            self.metrics.inc(name, amount)
+
+    def _time(self, name: str, t0: float) -> None:
+        elapsed_ms = (time.perf_counter() - t0) * 1000.0
+        with self._metrics_lock:
+            self.metrics.add_ms(name, elapsed_ms)
+
+    # ---- lifecycle ----------------------------------------------------
+
+    @property
+    def session(self):
+        return self._session
+
+    @property
+    def metrics(self):
+        return self._session.metrics
+
+    def close(self) -> None:
+        """Evict every engine this store warmed and close the catalog."""
+        with self._lock:
+            paths, self._lru = list(self._lru.values()), OrderedDict()
+        for path in paths:
+            self._session.evict(path)
+        self.catalog.close()
+        if self._owns_session:
+            self._session.close()
+
+    def __enter__(self) -> "TraceStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ---- catalog ------------------------------------------------------
+
+    def scan(self, jobs: int = 1) -> ScanResult:
+        """Reconcile the catalog with the directory; evict stale engines."""
+        t0 = time.perf_counter()
+        result = self.catalog.scan(self.root, jobs=jobs)
+        self._time("store.scan", t0)
+        for name, amount in (
+            ("added", result.added),
+            ("updated", result.updated),
+            ("removed", result.removed),
+            ("unchanged", result.unchanged),
+        ):
+            if amount:
+                self._inc(f"store.scan.{name}", amount)
+        if result.changed:
+            live = {t.path for t in self.catalog.traces()}
+            with self._lock:
+                self._entries.clear()
+                self._functions.clear()
+                self._function_sets.clear()
+                stale = [
+                    (trace, path)
+                    for trace, path in self._lru.items()
+                    if path not in live
+                ]
+                for trace, _path in stale:
+                    del self._lru[trace]
+            for _trace, path in stale:
+                self._session.evict(path)
+        return result
+
+    def traces(self, refresh: bool = False) -> Dict:
+        """The catalog listing (``GET /traces``)."""
+        if refresh:
+            self.scan()
+        return {
+            "traces": [t.to_dict() for t in self.catalog.traces()],
+        }
+
+    def __len__(self) -> int:
+        return len(self.catalog)
+
+    def __contains__(self, trace: str) -> bool:
+        return trace in self.catalog
+
+    # ---- verbs --------------------------------------------------------
+
+    def query(self, request: QueryRequest) -> Dict:
+        """Path traces for one trace (``GET /query``), JSON-ready."""
+        if not isinstance(request, QueryRequest):
+            raise RequestError("query() takes a QueryRequest")
+        t0 = time.perf_counter()
+        try:
+            entry = self._entry(request.trace)
+            names = self._resolve_functions(entry, request.functions)
+            results: Dict[str, List] = {}
+            decoded = False
+            for name in names:
+                # _traces hands back a fresh list of immutable tuples
+                # (tuples JSON-encode identically to lists), so the
+                # engine's cached traces are never re-materialised.
+                traces, cold = self._traces(entry, name)
+                decoded = decoded or cold
+                results[name] = (
+                    traces[: request.limit]
+                    if request.limit is not None
+                    else traces
+                )
+            self._touch(entry, enforce=decoded)
+        finally:
+            elapsed_ms = (time.perf_counter() - t0) * 1000.0
+            with self._metrics_lock:
+                self.metrics.inc("store.requests.query")
+                self.metrics.add_ms("store.query", elapsed_ms)
+        return {"trace": entry.trace, "functions": results}
+
+    def analyze(self, request: AnalyzeRequest) -> Dict:
+        """Fact frequencies for one trace (``POST /analyze``), JSON-ready."""
+        if not isinstance(request, AnalyzeRequest):
+            raise RequestError("analyze() takes an AnalyzeRequest")
+        from ..analysis.facts import parse_fact
+
+        self._inc("store.requests.analyze")
+        t0 = time.perf_counter()
+        try:
+            entry = self._entry(request.trace)
+            try:
+                parse_fact(request.fact)
+            except ValueError as exc:
+                raise RequestError(str(exc)) from None
+            program = self._program_path(entry, request.program)
+            names = self._resolve_functions(entry, request.functions)
+            reports = self._session.analyze(
+                entry.path, program, request.fact, functions=names
+            )
+            self._touch(entry)
+        finally:
+            self._time("store.analyze", t0)
+        return {
+            "trace": entry.trace,
+            "fact": request.fact,
+            "functions": {
+                name: [_report_to_dict(r) for r in func_reports]
+                for name, func_reports in reports.items()
+            },
+        }
+
+    def stats(self, request: Optional[StatsRequest] = None) -> Dict:
+        """Serving stats (``GET /stats``): catalog + cache occupancy."""
+        request = StatsRequest() if request is None else request
+        if not isinstance(request, StatsRequest):
+            raise RequestError("stats() takes a StatsRequest")
+        self._inc("store.requests.stats")
+        if request.trace is None:
+            rows = self.catalog.traces()
+            return {
+                "traces": len(rows),
+                "functions": sum(t.functions for t in rows),
+                "calls": sum(t.calls for t in rows),
+                "bytes": sum(t.size for t in rows),
+                "cache": self.cache_stats(),
+            }
+        entry = self._entry(request.trace)
+        doc = entry.to_dict()
+        doc["function_index"] = [
+            f.to_dict() for f in self.catalog.functions(entry.trace)
+        ]
+        doc["warm"] = self._is_warm(entry.path)
+        return doc
+
+    # ---- cache accounting ---------------------------------------------
+
+    def metrics_snapshot(self) -> Dict:
+        """The session's ``repro.metrics/1`` document (``GET /metrics``).
+
+        Engines mutate the shared registry under their own locks, so a
+        concurrent export can rarely observe a dict resize mid-copy;
+        retry a few times rather than lock every engine write.
+        """
+        for _ in range(8):
+            try:
+                with self._metrics_lock:
+                    return self.metrics.to_dict()
+            except RuntimeError:  # pragma: no cover - needs a precise race
+                continue
+        with self._metrics_lock:  # pragma: no cover
+            return self.metrics.to_dict()
+
+    def cache_stats(self) -> Dict:
+        """Global budget occupancy plus the engines' aggregate traffic."""
+        with self._lock:
+            paths = list(self._lru.values())
+        per_engine = []
+        for path in paths:
+            engine = self._session._engines.get(path)
+            if engine is not None:
+                per_engine.append(engine.cache_stats())
+        hits = sum(s["hits"] for s in per_engine)
+        misses = sum(s["misses"] for s in per_engine)
+        lookups = hits + misses
+        return {
+            "budget_bytes": self.cache_bytes,
+            "bytes": sum(s["bytes"] for s in per_engine),
+            "engines": len(per_engine),
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / lookups if lookups else 0.0,
+            "file_evictions": self.metrics.counter("store.evictions"),
+        }
+
+    def _is_warm(self, path: str) -> bool:
+        return path in self._session._engines
+
+    def _touch(self, entry: CatalogTrace, enforce: bool = True) -> None:
+        """Mark ``entry`` most recently used; enforce the global budget.
+
+        ``enforce=False`` skips the budget pass -- pure cache hits
+        cannot have grown any engine's footprint, so recency is all
+        that needs recording.
+        """
+        if not enforce:
+            with self._lock:
+                self._lru[entry.trace] = entry.path
+                self._lru.move_to_end(entry.trace)
+            return
+        evict: List[str] = []
+        with self._lock:
+            self._lru[entry.trace] = entry.path
+            self._lru.move_to_end(entry.trace)
+            total = 0
+            for path in self._lru.values():
+                engine = self._session._engines.get(path)
+                if engine is not None:
+                    total += engine.cache_stats()["bytes"]
+            # Evict least-recently-queried files until within budget,
+            # always sparing the file just touched.
+            victims = iter(list(self._lru.items())[:-1])
+            while total > self.cache_bytes:
+                try:
+                    trace, path = next(victims)
+                except StopIteration:
+                    break
+                engine = self._session._engines.get(path)
+                if engine is None:
+                    del self._lru[trace]
+                    continue
+                total -= engine.cache_stats()["bytes"]
+                del self._lru[trace]
+                evict.append(path)
+        for path in evict:
+            self._session.evict(path)
+            self._inc("store.evictions")
+
+    # ---- coalescing ---------------------------------------------------
+
+    def _traces(
+        self, entry: CatalogTrace, name: str
+    ) -> Tuple[List[Tuple[int, ...]], bool]:
+        """One function's traces plus a was-it-cold flag.
+
+        Warm keys are answered straight from the engine's cache; cold
+        keys go through the coalescing protocol so concurrent identical
+        requests cost a single decode."""
+        engine = self._session.engine(entry.path)
+        cached = engine.cached_traces(name)
+        if cached is not None:
+            return cached, False
+        key = (entry.path, name)
+        with self._lock:
+            fut = self._inflight.get(key)
+            owner = fut is None
+            if owner:
+                fut = Future()
+                self._inflight[key] = fut
+            else:
+                self._inc("store.coalesced")
+        if not owner:
+            return fut.result(), True
+        try:
+            result = engine.traces(name)
+        except BaseException as exc:
+            fut.set_exception(exc)
+            raise
+        else:
+            fut.set_result(result)
+            return result, True
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+
+    # ---- helpers ------------------------------------------------------
+
+    def _entry(self, trace: str) -> CatalogTrace:
+        entry = self._entries.get(trace)
+        if entry is not None:
+            return entry
+        entry = self.catalog.trace(trace)
+        if entry is None:
+            # The file may have appeared since the last scan: one
+            # stat-cheap reconciliation before giving up.
+            if self.scan().changed:
+                entry = self.catalog.trace(trace)
+        if entry is None:
+            raise TraceNotFound(f"trace {trace!r} not in store")
+        self._entries[trace] = entry
+        return entry
+
+    def _resolve_functions(
+        self, entry: CatalogTrace, names: Tuple[str, ...]
+    ) -> List[str]:
+        known = self._functions.get(entry.trace)
+        if known is None:
+            known = [f.name for f in self.catalog.functions(entry.trace)]
+            self._functions[entry.trace] = known
+            self._function_sets[entry.trace] = frozenset(known)
+        if not names:
+            return known
+        known_set = self._function_sets.get(entry.trace)
+        if known_set is None:
+            known_set = frozenset(known)
+            self._function_sets[entry.trace] = known_set
+        for name in names:
+            if name not in known_set:
+                raise TraceNotFound(
+                    f"function {name!r} not in trace {entry.trace!r}"
+                )
+        return list(names)
+
+    def _program_path(
+        self, entry: CatalogTrace, program: Optional[str]
+    ) -> str:
+        if program is None:
+            path = Path(entry.path).with_suffix(".ir")
+            if not path.exists():
+                raise RequestError(
+                    f"trace {entry.trace!r} has no program IR beside it; "
+                    "pass program="
+                )
+            return str(path)
+        resolved = (self.root / program).resolve()
+        if self.root not in resolved.parents and resolved != self.root:
+            raise RequestError("program must resolve inside the store root")
+        if not resolved.is_file():
+            raise RequestError(f"program {program!r} not found in store")
+        return str(resolved)
+
+    def engine(self, trace: str) -> QueryEngine:
+        """The warm engine for one catalogued trace (mostly for tests)."""
+        entry = self._entry(trace)
+        engine = self._session.engine(entry.path)
+        self._touch(entry)
+        return engine
+
+
+def _report_to_dict(report) -> Dict:
+    """One FrequencyReport as the stable JSON wire shape."""
+    return {
+        "total_queries": report.total_queries,
+        "blocks": [
+            {
+                "block": e.block_id,
+                "executions": e.executions,
+                "holds": e.holds,
+                "fails": e.fails,
+                "unresolved": e.unresolved,
+                "frequency": round(e.frequency, 6),
+            }
+            for _, e in sorted(report.entries.items())
+        ],
+    }
+
+

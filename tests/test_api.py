@@ -163,32 +163,52 @@ class TestTopLevelVerbs:
             assert hasattr(repro, name), name
 
 
-class TestDeprecatedAliases:
-    def test_run_program_warns_and_delegates(self, program):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            result = repro.run_program(program)
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        )
-        assert result.calls_made >= 1
+class TestRemovedAliases:
+    def test_deprecated_aliases_are_gone(self):
+        assert not hasattr(repro, "run_program")
+        assert not hasattr(repro, "collect_wpp")
 
-    def test_collect_wpp_warns_and_delegates(self, program):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            wpp = repro.collect_wpp(program)
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        )
-        assert wpp.to_tuples() == repro.trace(program).to_tuples()
-
-    def test_module_level_collect_wpp_does_not_warn(self, program):
+    def test_home_modules_still_export_them(self, program):
+        from repro.interp import run_program
         from repro.trace import collect_wpp
 
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("error", DeprecationWarning)
-            collect_wpp(program)
+            assert run_program(program).calls_made >= 1
+            wpp = collect_wpp(program)
         assert not caught
+        assert wpp.to_tuples() == repro.trace(program).to_tuples()
+
+
+class TestSessionEvict:
+    def test_evict_cold_path_is_false(self, session_and_artifacts):
+        session, _w, _r, _wp, twpp_path = session_and_artifacts
+        assert session.evict(twpp_path.with_name("never-opened.twpp")) is False
+
+    def test_evict_releases_then_reopens(self, program, tmp_path):
+        session = Session()
+        twpp_path = tmp_path / "run.twpp"
+        session.compact(session.trace(program)).save(twpp_path)
+        before = session.query(twpp_path, "f")
+        assert str(twpp_path) in session._engines
+        assert session.evict(twpp_path) is True
+        assert str(twpp_path) not in session._engines
+        assert session.metrics.counter("session.evictions") == 1
+        # the next query transparently reopens a cold engine
+        assert session.query(twpp_path, "f") == before
+        assert str(twpp_path) in session._engines
+        session.close()
+
+    def test_session_store_round_trip(self, program, tmp_path):
+        session = Session()
+        session.compact(session.trace(program)).save(tmp_path / "run.twpp")
+        store = session.store(tmp_path)
+        doc = store.query(repro.QueryRequest(trace="run", functions=("f",)))
+        assert [tuple(t) for t in doc["functions"]["f"]] == session.query(
+            tmp_path / "run.twpp", "f"
+        )
+        store.close()
+        session.close()
 
 
 class TestSessionAnalyze:

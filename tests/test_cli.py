@@ -242,3 +242,110 @@ class TestAnalyze:
         ])
         assert rc == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestScan:
+    @pytest.fixture
+    def store_dir(self, pipeline_files, tmp_path):
+        ir, _wpp, twpp, _sqwp = pipeline_files
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / "run.twpp").write_bytes(twpp.read_bytes())
+        (root / "run.ir").write_text(ir.read_text())
+        return root
+
+    def test_scan_then_rescan(self, store_dir, capsys):
+        assert main(["scan", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "+1 added" in out and "run" in out
+        assert (store_dir / "catalog.sqlite").exists()
+        assert main(["scan", str(store_dir)]) == 0
+        assert "1 unchanged" in capsys.readouterr().out
+
+    def test_scan_flags_metrics_and_jobs(self, store_dir, tmp_path, capsys):
+        metrics = tmp_path / "scan-metrics.json"
+        rc = main(["scan", str(store_dir), "-j", "2",
+                   "--metrics-out", str(metrics)])
+        assert rc == 0
+        import json
+
+        doc = json.loads(metrics.read_text())
+        assert doc["schema"] == "repro.metrics/1"
+
+    def test_scan_marks_missing_ir(self, store_dir, capsys):
+        (store_dir / "run.ir").unlink()
+        assert main(["scan", str(store_dir)]) == 0
+        assert "[no .ir]" in capsys.readouterr().out
+
+    def test_scan_reports_bad_file(self, store_dir, capsys):
+        (store_dir / "junk.twpp").write_bytes(b"garbage")
+        assert main(["scan", str(store_dir)]) == 1
+        assert "junk" in capsys.readouterr().err
+
+
+MINIMAL_ARGV = {
+    "trace": ["trace", "x", "-o", "y"],
+    "compact": ["compact", "x", "-o", "y"],
+    "query": ["query", "x", "main"],
+    "analyze": ["analyze", "x", "--program", "p.ir", "--fact", "def:i"],
+    "stats": ["stats", "x"],
+    "scan": ["scan", "x"],
+    "serve": ["serve", "x"],
+}
+
+
+class TestSharedParentFlags:
+    """Every data-facing subcommand takes --metrics-out, and the
+    parallel-capable ones take -j/--jobs, via shared parent parsers."""
+
+    @pytest.mark.parametrize("cmd", sorted(MINIMAL_ARGV))
+    def test_metrics_out_everywhere(self, cmd):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            MINIMAL_ARGV[cmd] + ["--metrics-out", "m.json"]
+        )
+        assert args.metrics_out == "m.json"
+
+    @pytest.mark.parametrize("cmd", sorted(MINIMAL_ARGV))
+    def test_jobs_everywhere(self, cmd):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(MINIMAL_ARGV[cmd] + ["-j", "3"])
+        assert args.jobs == 3
+
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "store"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.jobs == 1
+
+    def test_trace_metrics_out_written(self, tmp_path, capsys):
+        import json
+
+        ir = tmp_path / "p.ir"
+        assert main(["generate", "li-like", "--scale", "0.05",
+                     "-o", str(ir)]) == 0
+        metrics = tmp_path / "trace-metrics.json"
+        rc = main(["trace", str(ir), "-o", str(tmp_path / "p.wpp"),
+                   "--metrics-out", str(metrics)])
+        assert rc == 0
+        doc = json.loads(metrics.read_text())
+        assert doc["counters"]["trace.events"] > 0
+
+    def test_query_jobs_alias_for_threads(self, pipeline_files, tmp_path,
+                                          capsys):
+        import json
+
+        _ir, _wpp, twpp, _sqwp = pipeline_files
+        metrics = tmp_path / "query-metrics.json"
+        rc = main(["query", str(twpp), "main", "-j", "2",
+                   "--metrics-out", str(metrics)])
+        assert rc == 0
+        assert metrics.exists()
+        doc = json.loads(metrics.read_text())
+        assert doc["schema"] == "repro.metrics/1"

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.ir",
     "repro.interp",
     "repro.obs",
+    "repro.store",
     "repro.trace",
     "repro.compact",
     "repro.sequitur",
@@ -52,16 +53,19 @@ class TestExports:
         import repro
 
         assert repro.__all__ == [
+            "AnalyzeRequest",
             "CompactResult",
             "MetricsRegistry",
+            "QueryRequest",
             "Session",
+            "StatsRequest",
             "StreamResult",
+            "TraceServer",
+            "TraceStore",
             "__version__",
             "analyze",
-            "collect_wpp",
             "compact",
             "query",
-            "run_program",
             "stats",
             "stream_compact",
             "trace",
@@ -82,20 +86,25 @@ class TestExports:
         assert repro.trace is api.trace
         assert repro.compact is api.compact
 
-    def test_deprecated_aliases_warn(self):
-        import warnings
-
+    def test_deprecated_aliases_removed(self):
+        """The 1.1-era ``run_program``/``collect_wpp`` aliases are gone;
+        the names live only in their home modules now."""
         import repro
-        from repro.workloads import figure1_program
 
-        program = figure1_program()
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            repro.collect_wpp(program)
-            repro.run_program(program)
-        assert sum(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        ) == 2
+        assert not hasattr(repro, "run_program")
+        assert not hasattr(repro, "collect_wpp")
+        from repro.interp import run_program  # noqa: F401
+        from repro.trace import collect_wpp  # noqa: F401
+
+    def test_store_surface_is_api_objects(self):
+        import repro
+        import repro.store as store
+
+        assert repro.TraceStore is store.TraceStore
+        assert repro.TraceServer is store.TraceServer
+        assert repro.QueryRequest is store.QueryRequest
+        assert repro.AnalyzeRequest is store.AnalyzeRequest
+        assert repro.StatsRequest is store.StatsRequest
 
     def test_submodule_imports_unshadowed(self):
         """repro.trace/repro.compact the *verbs* must not break the

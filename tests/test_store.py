@@ -1,0 +1,324 @@
+"""Tests for repro.store: catalog, TraceStore, requests, eviction,
+coalescing."""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import Session
+from repro.ir.printer import format_program
+from repro.store import (
+    AnalyzeRequest,
+    QueryRequest,
+    RequestError,
+    StatsRequest,
+    TraceCatalog,
+    TraceNotFound,
+    TraceStore,
+)
+from repro.trace import collect_wpp, partition_wpp
+from repro.workloads.specs import workload
+
+
+def write_trace(root, name, scale=0.05, with_ir=True):
+    """One workload compacted into ``root/name.twpp`` (+ ``name.ir``)."""
+    program, _spec = workload(name, scale=scale)
+    session = Session()
+    session.compact(partition_wpp(collect_wpp(program))).save(
+        root / f"{name}.twpp"
+    )
+    session.close()
+    if with_ir:
+        (root / f"{name}.ir").write_text(format_program(program) + "\n")
+    return program
+
+
+@pytest.fixture(scope="module")
+def store_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("store")
+    write_trace(root, "li-like")
+    write_trace(root, "ijpeg-like")
+    return root
+
+
+@pytest.fixture
+def store(store_root):
+    with TraceStore(store_root) as store:
+        yield store
+
+
+class TestRequests:
+    def test_query_request_round_trips(self):
+        req = QueryRequest(trace="run", functions=("a", "b"), limit=3)
+        assert QueryRequest.from_dict(req.to_dict()) == req
+
+    def test_query_request_from_query_string_params(self):
+        req = QueryRequest.from_query(
+            {"trace": ["run"], "fn": ["a", "b"], "limit": ["3"]}
+        )
+        assert req == QueryRequest(trace="run", functions=("a", "b"), limit=3)
+
+    def test_query_request_rejects_unknown_params(self):
+        with pytest.raises(RequestError):
+            QueryRequest.from_query({"trace": ["run"], "nope": ["1"]})
+        with pytest.raises(RequestError):
+            QueryRequest.from_dict({"trace": "run", "nope": 1})
+
+    def test_query_request_validates_types(self):
+        with pytest.raises(RequestError):
+            QueryRequest(trace="")
+        with pytest.raises(RequestError):
+            QueryRequest(trace="run", limit=-1)
+        with pytest.raises(RequestError):
+            QueryRequest(trace="run", functions=(1,))
+
+    def test_analyze_request_requires_fact(self):
+        with pytest.raises(RequestError):
+            AnalyzeRequest.from_dict({"trace": "run"})
+
+
+class TestCatalog:
+    def test_scan_reports_added_then_unchanged(self, tmp_path):
+        write_trace(tmp_path, "li-like")
+        catalog = TraceCatalog()
+        first = catalog.scan(tmp_path)
+        assert (first.added, first.unchanged) == (1, 0)
+        second = catalog.scan(tmp_path)
+        assert (second.added, second.unchanged) == (0, 1)
+        assert not second.changed
+
+    def test_scan_sees_update_and_removal(self, tmp_path):
+        write_trace(tmp_path, "li-like")
+        catalog = TraceCatalog()
+        catalog.scan(tmp_path)
+        twpp = tmp_path / "li-like.twpp"
+        data = twpp.read_bytes()
+        time.sleep(0.01)  # ensure a fresh mtime_ns
+        twpp.write_bytes(data)
+        assert catalog.scan(tmp_path).updated == 1
+        twpp.unlink()
+        result = catalog.scan(tmp_path)
+        assert result.removed == 1
+        assert len(catalog) == 0
+
+    def test_catalog_matches_header(self, store_root):
+        catalog = TraceCatalog()
+        catalog.scan(store_root)
+        entry = catalog.trace("li-like")
+        assert entry is not None and entry.has_program
+        names = [f.name for f in catalog.functions("li-like")]
+        with Session() as session:
+            engine = session.engine(store_root / "li-like.twpp")
+            assert names == engine.function_names()
+
+    def test_catalog_persists_across_instances(self, tmp_path):
+        write_trace(tmp_path, "li-like")
+        db = tmp_path / "catalog.sqlite"
+        TraceCatalog(db).scan(tmp_path)
+        reopened = TraceCatalog(db)
+        assert reopened.scan(tmp_path).unchanged == 1
+        assert "li-like" in reopened
+
+    def test_unparsable_file_reported_not_fatal(self, tmp_path):
+        write_trace(tmp_path, "li-like")
+        (tmp_path / "junk.twpp").write_bytes(b"not a twpp file")
+        catalog = TraceCatalog()
+        result = catalog.scan(tmp_path)
+        assert result.added == 1 and len(result.errors) == 1
+        assert "junk" not in catalog
+
+
+class TestTraceStore:
+    def test_query_matches_session(self, store, store_root):
+        doc = store.query(QueryRequest(trace="li-like"))
+        assert doc["trace"] == "li-like"
+        with Session() as session:
+            for name, traces in doc["functions"].items():
+                expected = session.query(store_root / "li-like.twpp", name)
+                assert [tuple(t) for t in traces] == expected
+
+    def test_query_limit(self, store):
+        full = store.query(QueryRequest(trace="li-like"))
+        name = max(full["functions"], key=lambda n: len(full["functions"][n]))
+        doc = store.query(QueryRequest(trace="li-like", functions=(name,), limit=1))
+        assert doc["functions"][name] == full["functions"][name][:1]
+
+    def test_unknown_trace_and_function_raise(self, store):
+        with pytest.raises(TraceNotFound):
+            store.query(QueryRequest(trace="nope"))
+        with pytest.raises(TraceNotFound):
+            store.query(QueryRequest(trace="li-like", functions=("nope",)))
+
+    def test_query_rejects_untyped_args(self, store):
+        with pytest.raises(RequestError):
+            store.query("li-like")
+
+    def test_analyze_matches_session(self, store, store_root):
+        req = AnalyzeRequest(trace="li-like", fact="def:acc")
+        doc = store.analyze(req)
+        assert doc["trace"] == "li-like" and doc["fact"] == "def:acc"
+        with Session() as session:
+            reports = session.analyze(
+                store_root / "li-like.twpp",
+                store_root / "li-like.ir",
+                "def:acc",
+            )
+        assert set(doc["functions"]) == set(reports)
+        for name, func_reports in reports.items():
+            got = doc["functions"][name]
+            assert [r.total_queries for r in func_reports] == [
+                g["total_queries"] for g in got
+            ]
+
+    def test_analyze_rejects_bad_fact_and_escaping_program(self, store):
+        with pytest.raises(RequestError):
+            store.analyze(AnalyzeRequest(trace="li-like", fact="not a fact"))
+        with pytest.raises(RequestError):
+            store.analyze(
+                AnalyzeRequest(
+                    trace="li-like", fact="def:acc", program="../outside.ir"
+                )
+            )
+
+    def test_stats_store_level(self, store):
+        doc = store.stats()
+        assert doc["traces"] == 2
+        assert doc["functions"] > 0 and doc["calls"] > 0 and doc["bytes"] > 0
+        assert doc["cache"]["budget_bytes"] == store.cache_bytes
+
+    def test_stats_per_trace(self, store):
+        store.query(QueryRequest(trace="li-like"))
+        doc = store.stats(StatsRequest(trace="li-like"))
+        assert doc["trace"] == "li-like" and doc["warm"]
+        assert doc["function_index"]
+        assert {"name", "calls", "section_offset", "section_bytes"} <= set(
+            doc["function_index"][0]
+        )
+
+    def test_lazy_rescan_finds_new_file(self, tmp_path):
+        write_trace(tmp_path, "li-like")
+        with TraceStore(tmp_path) as store:
+            assert len(store) == 1
+            write_trace(tmp_path, "ijpeg-like", with_ir=False)
+            doc = store.query(QueryRequest(trace="ijpeg-like"))
+            assert doc["trace"] == "ijpeg-like"
+            assert len(store) == 2
+
+    def test_refresh_drops_removed_file(self, tmp_path):
+        write_trace(tmp_path, "li-like")
+        write_trace(tmp_path, "ijpeg-like", with_ir=False)
+        with TraceStore(tmp_path) as store:
+            store.query(QueryRequest(trace="ijpeg-like"))
+            (tmp_path / "ijpeg-like.twpp").unlink()
+            listing = store.traces(refresh=True)
+            assert [t["trace"] for t in listing["traces"]] == ["li-like"]
+            # the stale engine was evicted along with the file
+            assert not store._is_warm(str(tmp_path / "ijpeg-like.twpp"))
+
+
+class TestEviction:
+    def test_session_evict(self, store_root):
+        with Session() as session:
+            path = store_root / "li-like.twpp"
+            assert session.evict(path) is False
+            session.query(path, session.engine(path).function_names()[0])
+            assert session.evict(path) is True
+            assert session.metrics.counter("session.evictions") == 1
+            # next use transparently reopens
+            assert session.engine(path).function_names()
+
+    def test_tiny_budget_evicts_whole_files(self, store_root):
+        with Session() as session:
+            store = session.store(store_root, cache_bytes=1)
+            store.query(QueryRequest(trace="li-like"))
+            store.query(QueryRequest(trace="ijpeg-like"))
+            assert session.metrics.counter("store.evictions") > 0
+            assert store.cache_stats()["file_evictions"] > 0
+            # the most recently touched file is always spared
+            assert store._is_warm(str(store_root / "ijpeg-like.twpp"))
+            assert not store._is_warm(str(store_root / "li-like.twpp"))
+            store.close()
+
+    def test_generous_budget_keeps_both_warm(self, store):
+        store.query(QueryRequest(trace="li-like"))
+        store.query(QueryRequest(trace="ijpeg-like"))
+        stats = store.cache_stats()
+        assert stats["engines"] == 2 and stats["file_evictions"] == 0
+
+
+class TestCoalescing:
+    def test_concurrent_cold_key_decodes_once(self, store_root):
+        with Session() as session:
+            store = session.store(store_root)
+            name = store.catalog.functions("li-like")[0].name
+            n_threads = 8
+            barrier = threading.Barrier(n_threads)
+            request = QueryRequest(trace="li-like", functions=(name,))
+            results = []
+
+            def worker():
+                barrier.wait()
+                results.append(store.query(request))
+
+            threads = [
+                threading.Thread(target=worker) for _ in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(results) == n_threads
+            assert all(r == results[0] for r in results)
+            assert session.metrics.counter("qserve.decodes") == 1
+            store.close()
+
+    def test_waiters_share_the_owners_decode(self, store_root):
+        """Force overlap: a slowed decode must be performed exactly once
+        while every waiter blocks on the in-flight future."""
+        with Session() as session:
+            store = session.store(store_root)
+            engine = store.engine("li-like")
+            name = store.catalog.functions("li-like")[0].name
+            calls = []
+            real = engine.traces
+
+            def slow_traces(fn_name):
+                calls.append(fn_name)
+                time.sleep(0.05)
+                return real(fn_name)
+
+            engine.traces = slow_traces
+            request = QueryRequest(trace="li-like", functions=(name,))
+            n_threads = 6
+            barrier = threading.Barrier(n_threads)
+
+            def worker():
+                barrier.wait()
+                store.query(request)
+
+            threads = [
+                threading.Thread(target=worker) for _ in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert calls == [name]
+            assert session.metrics.counter("store.coalesced") == n_threads - 1
+            store.close()
+
+
+class TestSessionIntegration:
+    def test_session_store_shares_metrics(self, store_root):
+        with Session() as session:
+            store = session.store(store_root)
+            store.query(QueryRequest(trace="li-like"))
+            snapshot = store.metrics_snapshot()
+            assert snapshot["schema"] == "repro.metrics/1"
+            assert snapshot["counters"]["store.requests.query"] == 1
+            store.close()
+
+    def test_store_root_must_exist(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            TraceStore(tmp_path / "missing")

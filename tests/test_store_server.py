@@ -1,0 +1,240 @@
+"""Tests for the HTTP serving layer: endpoint round-trips must be
+byte-identical to in-process TraceStore calls, plus the 4xx surface."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import Session
+from repro.store import (
+    AnalyzeRequest,
+    QueryRequest,
+    StatsRequest,
+    TraceServer,
+    canonical_json,
+)
+
+from .test_store import write_trace
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    root = tmp_path_factory.mktemp("served")
+    write_trace(root, "li-like")
+    write_trace(root, "perl-like", with_ir=False)
+    session = Session()
+    store = session.store(root)
+    server = TraceServer(store).start()
+    yield server, store, root
+    server.stop()
+    store.close()
+    session.close()
+
+
+def get(server, path):
+    with urllib.request.urlopen(f"{server.url}{path}") as resp:
+        return resp.status, resp.read()
+
+
+def get_error(server, path):
+    with pytest.raises(urllib.error.HTTPError) as exc_info:
+        urllib.request.urlopen(f"{server.url}{path}")
+    err = exc_info.value
+    return err.code, json.loads(err.read().decode("utf-8"))
+
+
+def post(server, path, doc):
+    req = urllib.request.Request(
+        f"{server.url}{path}",
+        data=json.dumps(doc).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(req) as resp:
+        return resp.status, resp.read()
+
+
+class TestEndpointsMatchInProcess:
+    def test_traces(self, served):
+        server, store, _root = served
+        status, body = get(server, "/traces")
+        assert status == 200
+        assert body == canonical_json(store.traces()) + b"\n"
+
+    def test_query_whole_trace(self, served):
+        server, store, _root = served
+        status, body = get(server, "/query?trace=li-like")
+        assert status == 200
+        expected = store.query(QueryRequest(trace="li-like"))
+        assert body == canonical_json(expected) + b"\n"
+
+    def test_query_with_fn_and_limit(self, served):
+        server, store, _root = served
+        name = store.catalog.functions("li-like")[0].name
+        status, body = get(server, f"/query?trace=li-like&fn={name}&limit=2")
+        assert status == 200
+        expected = store.query(
+            QueryRequest(trace="li-like", functions=(name,), limit=2)
+        )
+        assert body == canonical_json(expected) + b"\n"
+
+    def test_stats_store_and_trace(self, served):
+        server, store, _root = served
+        status, body = get(server, "/stats")
+        assert status == 200
+        assert json.loads(body) == json.loads(
+            canonical_json(store.stats(StatsRequest()))
+        )
+        status, body = get(server, "/stats?trace=li-like")
+        assert status == 200
+        assert body == canonical_json(
+            store.stats(StatsRequest(trace="li-like"))
+        ) + b"\n"
+
+    def test_analyze_round_trip(self, served):
+        server, store, _root = served
+        doc = {"trace": "li-like", "fact": "def:acc"}
+        status, body = post(server, "/analyze", doc)
+        assert status == 200
+        expected = store.analyze(AnalyzeRequest.from_dict(doc))
+        assert body == canonical_json(expected) + b"\n"
+
+    def test_metrics_shows_cache_hits(self, served):
+        server, _store, _root = served
+        get(server, "/query?trace=li-like")
+        get(server, "/query?trace=li-like")
+        status, body = get(server, "/metrics")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["schema"] == "repro.metrics/1"
+        assert doc["counters"]["qserve.cache.hits"] > 0
+        assert doc["counters"]["http.requests"] > 0
+
+
+class TestErrorSurface:
+    def test_unknown_trace_is_404(self, served):
+        server, _store, _root = served
+        code, doc = get_error(server, "/query?trace=nope")
+        assert code == 404 and "nope" in doc["error"]
+
+    def test_unknown_function_is_404(self, served):
+        server, _store, _root = served
+        code, doc = get_error(server, "/query?trace=li-like&fn=nope")
+        assert code == 404
+
+    def test_unknown_route_is_404(self, served):
+        server, _store, _root = served
+        code, _doc = get_error(server, "/nope")
+        assert code == 404
+
+    def test_missing_trace_param_is_400(self, served):
+        server, _store, _root = served
+        code, doc = get_error(server, "/query")
+        assert code == 400 and "trace" in doc["error"]
+
+    def test_unknown_param_is_400(self, served):
+        server, _store, _root = served
+        code, _doc = get_error(server, "/query?trace=li-like&nope=1")
+        assert code == 400
+
+    def test_bad_limit_is_400(self, served):
+        server, _store, _root = served
+        code, _doc = get_error(server, "/query?trace=li-like&limit=banana")
+        assert code == 400
+
+    def test_get_on_analyze_is_405(self, served):
+        server, _store, _root = served
+        code, _doc = get_error(server, "/analyze")
+        assert code == 405
+
+    def test_post_on_query_is_405(self, served):
+        server, _store, _root = served
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            post(server, "/query", {"trace": "li-like"})
+        assert exc_info.value.code == 405
+
+    def test_malformed_json_body_is_400(self, served):
+        server, _store, _root = served
+        req = urllib.request.Request(
+            f"{server.url}/analyze", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(req)
+        assert exc_info.value.code == 400
+
+    def test_analyze_without_ir_is_400(self, served):
+        server, _store, _root = served
+        code, doc = get_error_post(
+            server, "/analyze", {"trace": "perl-like", "fact": "def:acc"}
+        )
+        assert code == 400 and "program" in doc["error"]
+
+
+def get_error_post(server, path, doc):
+    with pytest.raises(urllib.error.HTTPError) as exc_info:
+        post(server, path, doc)
+    err = exc_info.value
+    return err.code, json.loads(err.read().decode("utf-8"))
+
+
+class TestConcurrencyAndRescan:
+    def test_concurrent_clients_coalesce_to_one_decode(self, tmp_path):
+        write_trace(tmp_path, "li-like")
+        session = Session()
+        store = session.store(tmp_path)
+        server = TraceServer(store).start()
+        try:
+            name = store.catalog.functions("li-like")[0].name
+            n_clients = 8
+            barrier = threading.Barrier(n_clients)
+            bodies = []
+
+            def client():
+                barrier.wait()
+                with urllib.request.urlopen(
+                    f"{server.url}/query?trace=li-like&fn={name}"
+                ) as resp:
+                    bodies.append(resp.read())
+
+            threads = [
+                threading.Thread(target=client) for _ in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(set(bodies)) == 1 and len(bodies) == n_clients
+            assert session.metrics.counter("qserve.decodes") == 1
+        finally:
+            server.stop()
+            store.close()
+            session.close()
+
+    def test_refresh_sees_added_and_removed_files(self, tmp_path):
+        write_trace(tmp_path, "li-like")
+        session = Session()
+        store = session.store(tmp_path)
+        server = TraceServer(store).start()
+        try:
+            _status, body = get(server, "/traces")
+            assert [t["trace"] for t in json.loads(body)["traces"]] == [
+                "li-like"
+            ]
+            write_trace(tmp_path, "perl-like", with_ir=False)
+            _status, body = get(server, "/traces?refresh=1")
+            assert [t["trace"] for t in json.loads(body)["traces"]] == [
+                "li-like",
+                "perl-like",
+            ]
+            (tmp_path / "perl-like.twpp").unlink()
+            _status, body = get(server, "/traces?refresh=1")
+            assert [t["trace"] for t in json.loads(body)["traces"]] == [
+                "li-like"
+            ]
+        finally:
+            server.stop()
+            store.close()
+            session.close()
