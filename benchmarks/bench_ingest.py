@@ -24,19 +24,30 @@ Measures how fast trace events move from the interpreter to an indexed
   and raw-event codec (scalar loop vs ``encode_uvarints`` /
   ``decode_uvarints``) timed in isolation.
 
+* **interpreter-mode sweep** — traced *execution* (not replay): the
+  tree-walking reference vs the compiled engine
+  (:mod:`repro.interp.compile`), each under the legacy per-event tracer
+  and the batched ``block_run`` protocol, plus an end-to-end
+  trace -> compact -> serialize run per engine with byte-identity
+  checked.  This is the headline for the compiled-interpreter work: the
+  full bench gates compiled >= 5x tree end-to-end, the smoke gate >= 2x.
+
 * **end-to-end overlap** — wall clock of ``repro-wpp trace --stream``'s
   engine (:func:`stream_compact`, jobs sweep) vs the two-phase route
-  from the same program, files ``cmp``-identical.
+  from the same program, files ``cmp``-identical; each jobs row reports
+  the producer/consumer attribution (``interp_ms`` / ``compact_ms`` /
+  ``stall_ms``) from the ``ingest.*`` stage timers.
 
-Results land in ``BENCH_ingest.json`` (schema ``repro.bench_ingest/1``).
+Results land in ``BENCH_ingest.json`` (schema ``repro.bench_ingest/2``).
 
 Runs two ways::
 
     pytest benchmarks/bench_ingest.py            # bench suite
     python benchmarks/bench_ingest.py --smoke    # CI smoke gate
 
-``--smoke`` uses a small workload and asserts direction plus byte
-identity only; the full bench asserts the >= 3x throughput ratio.
+``--smoke`` uses a small workload and asserts direction, byte identity,
+and compiled >= 2x tree; the full bench asserts >= 3x replay ingest and
+>= 5x compiled end-to-end execution.
 """
 
 from __future__ import annotations
@@ -66,9 +77,10 @@ from repro.trace.partition import partition_wpp
 from repro.trace.wpp import WppBuilder, WppTrace
 from repro.workloads.specs import workload
 
-BENCH_SCHEMA = "repro.bench_ingest/1"
+BENCH_SCHEMA = "repro.bench_ingest/2"
 WORKLOAD = "perl-like"
 JOBS_SWEEP = (1, 2)
+INTERP_MODES = ("tree", "compiled")
 
 
 class _SegmentRecorder:
@@ -244,6 +256,91 @@ def _component_times(segments, flat, rounds):
 
 
 # ---------------------------------------------------------------------------
+# interpreter-mode sweep (tree vs compiled x legacy vs batched tracer)
+
+
+class _PerEventAdapter:
+    """Hide ``block_run`` so the engine takes the per-event tracer path."""
+
+    __slots__ = ("enter", "block", "leave")
+
+    def __init__(self, builder) -> None:
+        self.enter = builder.enter
+        self.block = builder.block
+        self.leave = builder.leave
+
+
+def _interp_sweep(program, n_events, rounds):
+    from repro.interp.compile import compiled_for
+
+    compile_metrics = MetricsRegistry()
+    compiled_for(program, metrics=compile_metrics)  # warm the compile cache
+
+    modes = {}
+    reference_events = None
+    for engine in INTERP_MODES:
+        for tracer_mode in ("legacy", "batched"):
+
+            def traced(engine=engine, tracer_mode=tracer_mode):
+                builder = WppBuilder()
+                tracer = (
+                    _PerEventAdapter(builder)
+                    if tracer_mode == "legacy"
+                    else builder
+                )
+                run_program(program, tracer=tracer, interp=engine)
+                return builder.finish()
+
+            elapsed, wpp = _time_best(traced, rounds)
+            if reference_events is None:
+                reference_events = wpp.events
+            else:
+                assert wpp.events == reference_events, (
+                    f"{engine}/{tracer_mode} event stream diverged"
+                )
+            modes[f"{engine}_{tracer_mode}"] = {
+                "ms": round(elapsed * 1e3, 3),
+                "events_per_sec": round(n_events / elapsed) if elapsed else None,
+            }
+
+    # End-to-end traced execution: program -> partition -> compact ->
+    # serialized .twpp, once per engine, byte-compared.
+    e2e = {}
+    blobs = {}
+    for engine in INTERP_MODES:
+
+        def full(engine=engine):
+            part = OnlinePartitioner()
+            run_program(program, tracer=part, interp=engine)
+            compacted, _ = compact_wpp(part.finish())
+            return serialize_twpp(compacted)
+
+        elapsed, blob = _time_best(full, rounds)
+        blobs[engine] = blob
+        e2e[engine] = {
+            "ms": round(elapsed * 1e3, 3),
+            "events_per_sec": round(n_events / elapsed) if elapsed else None,
+        }
+
+    tree_ms = e2e["tree"]["ms"]
+    compiled_ms = e2e["compiled"]["ms"]
+    return {
+        "compile_ms": round(
+            compile_metrics.timers_ms.get("interp.compile", 0.0), 3
+        ),
+        "modes": modes,
+        "e2e": e2e,
+        "e2e_identical": blobs["tree"] == blobs["compiled"],
+        "e2e_speedup": round(tree_ms / compiled_ms, 2) if compiled_ms else None,
+        "interp_speedup": round(
+            modes["tree_batched"]["ms"] / modes["compiled_batched"]["ms"], 2
+        )
+        if modes["compiled_batched"]["ms"]
+        else None,
+    }
+
+
+# ---------------------------------------------------------------------------
 # end-to-end overlap (stream_compact vs two-phase, from the program)
 
 
@@ -260,18 +357,28 @@ def _overlap_sweep(program, tmp_dir, rounds):
     sweep = []
     for jobs in JOBS_SWEEP:
         out_path = tmp_dir / f"stream_j{jobs}.twpp"
+        last_metrics = {}
 
-        def streamed():
-            return stream_compact(
-                program, out_path, jobs=jobs, metrics=MetricsRegistry()
-            )
+        def streamed(jobs=jobs, out_path=out_path, last_metrics=last_metrics):
+            metrics = MetricsRegistry()
+            result = stream_compact(program, out_path, jobs=jobs, metrics=metrics)
+            last_metrics["m"] = metrics
+            return result
 
         t_stream, res = _time_best(streamed, rounds)
+        timers = last_metrics["m"].timers_ms
         sweep.append(
             {
                 "jobs": jobs,
                 "stream_ms": round(t_stream * 1e3, 3),
                 "stream_events_per_sec": round(res.events / t_stream),
+                # Producer/consumer attribution from the ingest.* timers:
+                # pure interpreter time, backpressure stalls, and
+                # consumer-side compaction (overlapped, so the sum can
+                # exceed wall clock).
+                "interp_ms": round(timers.get("ingest.interp", 0.0), 3),
+                "stall_ms": round(timers.get("ingest.stall", 0.0), 3),
+                "compact_ms": round(timers.get("ingest.compact", 0.0), 3),
                 "identical_to_two_phase": out_path.read_bytes() == ref,
             }
         )
@@ -303,6 +410,7 @@ def run_bench(scale=1.0, smoke=False, tmp_dir=None):
     identical = out_seed == out_new
 
     components = _component_times(segments, flat, rounds)
+    interp = _interp_sweep(program, n_events, rounds)
     overlap = (
         _overlap_sweep(program, tmp_dir, rounds) if tmp_dir is not None else None
     )
@@ -327,6 +435,7 @@ def run_bench(scale=1.0, smoke=False, tmp_dir=None):
         "ingest_speedup": round(new_eps / seed_eps, 2) if seed_eps else None,
         "twpp_identical": identical,
         "components": components,
+        "interp": interp,
         "overlap": overlap,
     }
 
@@ -344,7 +453,8 @@ def write_doc(doc, out_path):
 
 def test_ingest_batched_vs_per_event(results_dir, tmp_path):
     """Batched+bulk ingest moves >= 3x more events/sec than the seed
-    per-event path on perl-like, with byte-identical .twpp output."""
+    per-event path on perl-like (byte-identical .twpp), and the compiled
+    interpreter executes >= 5x faster than the tree-walker end-to-end."""
     doc = run_bench(scale=max(1.0, bench_scale()), tmp_dir=tmp_path)
     out = write_doc(doc, Path(results_dir) / "BENCH_ingest.json")
     print(f"\nwrote {out}")
@@ -353,11 +463,19 @@ def test_ingest_batched_vs_per_event(results_dir, tmp_path):
         f"{doc['batched_events_per_sec']:,} ev/s => "
         f"x{doc['ingest_speedup']} ({doc['events']} events)"
     )
+    interp = doc["interp"]
+    print(
+        f"tree e2e {interp['e2e']['tree']['events_per_sec']:,} ev/s, "
+        f"compiled e2e {interp['e2e']['compiled']['events_per_sec']:,} ev/s "
+        f"=> x{interp['e2e_speedup']}"
+    )
     assert doc["twpp_identical"]
     assert all(
         row["identical_to_two_phase"] for row in doc["overlap"]["jobs_sweep"]
     )
     assert doc["ingest_speedup"] >= 3, doc
+    assert interp["e2e_identical"], interp
+    assert interp["e2e_speedup"] >= 5, interp
 
 
 # ---------------------------------------------------------------------------
@@ -396,14 +514,28 @@ def main(argv=None):
     ):
         print("FAIL: stream_compact diverged from two-phase", file=sys.stderr)
         return 1
+    interp = doc["interp"]
+    if not interp["e2e_identical"]:
+        print("FAIL: compiled engine .twpp diverged from tree-walker",
+              file=sys.stderr)
+        return 1
     if args.smoke:
         if doc["batched_events_per_sec"] <= doc["seed_events_per_sec"]:
             print("FAIL: batched ingest not faster than per-event",
                   file=sys.stderr)
             return 1
-    elif doc["ingest_speedup"] < 3:
-        print("FAIL: ingest speedup below 3x", file=sys.stderr)
-        return 1
+        if interp["e2e_speedup"] < 2:
+            print("FAIL: compiled interpreter below 2x tree end-to-end",
+                  file=sys.stderr)
+            return 1
+    else:
+        if doc["ingest_speedup"] < 3:
+            print("FAIL: ingest speedup below 3x", file=sys.stderr)
+            return 1
+        if interp["e2e_speedup"] < 5:
+            print("FAIL: compiled interpreter below 5x tree end-to-end",
+                  file=sys.stderr)
+            return 1
     return 0
 
 

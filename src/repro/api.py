@@ -96,7 +96,10 @@ class Session:
     :class:`~repro.obs.MetricsRegistry` every stage reports into (a
     fresh one is created when not supplied).  ``cache_bytes`` budgets
     each query engine's decoded-record LRU (0 disables caching) and
-    ``threads`` sizes batch-query fan-out (None/0 = auto).  Engines are
+    ``threads`` sizes batch-query fan-out (None/0 = auto).  ``interp``
+    picks the execution engine for trace verbs (``"compiled"``/
+    ``"tree"``; None defers to ``REPRO_INTERP`` then the compiled
+    default -- see :func:`repro.interp.run_program`).  Engines are
     created lazily, one per queried ``.twpp`` path, and reused for the
     session's lifetime so repeat queries are served warm; ``close()``
     (or using the session as a context manager) releases them.
@@ -108,11 +111,13 @@ class Session:
         metrics: Optional[MetricsRegistry] = None,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         threads: Optional[int] = None,
+        interp: Optional[str] = None,
     ) -> None:
         self.jobs = jobs
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache_bytes = cache_bytes
         self.threads = threads
+        self.interp = interp
         self._engines: Dict[str, QueryEngine] = {}
         self._engines_lock = threading.Lock()
 
@@ -168,6 +173,8 @@ class Session:
                 args=args,
                 inputs=inputs,
                 max_events=max_events,
+                interp=self.interp,
+                metrics=self.metrics,
             )
         self.metrics.inc("trace.events", len(wpp))
         return wpp
@@ -196,6 +203,7 @@ class Session:
             jobs=self.jobs if jobs is None else jobs,
             max_events=max_events,
             metrics=self.metrics,
+            interp=self.interp,
         )
 
     def partition(self, wpp: WppSource) -> PartitionedWpp:
@@ -455,9 +463,10 @@ def trace(
     args: Tuple[int, ...] = (),
     inputs: Tuple[int, ...] = (),
     max_events: Optional[int] = None,
+    interp: Optional[str] = None,
 ) -> WppTrace:
     """Run a program and collect its whole program path."""
-    return Session().trace(
+    return Session(interp=interp).trace(
         program, args=args, inputs=inputs, max_events=max_events
     )
 
@@ -479,9 +488,10 @@ def stream_compact(
     max_events: Optional[int] = None,
     jobs: int = 1,
     metrics: Optional[MetricsRegistry] = None,
+    interp: Optional[str] = None,
 ) -> StreamResult:
     """Run a program and stream its compacted ``.twpp`` straight to disk."""
-    return Session(jobs=jobs, metrics=metrics).stream_compact(
+    return Session(jobs=jobs, metrics=metrics, interp=interp).stream_compact(
         program, path, args=args, inputs=inputs, max_events=max_events
     )
 

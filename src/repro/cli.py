@@ -75,6 +75,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             max_events=args.max_events,
             metrics=metrics,
+            interp=args.interp,
         )
         print(
             f"streamed {res.events} events ({res.run.calls_made} calls) "
@@ -98,6 +99,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             inputs=args.input,
             tracer=builder,
             max_events=args.max_events,
+            interp=args.interp,
+            metrics=metrics,
         )
         wpp = builder.finish()
     metrics.inc("trace.events", len(wpp))
@@ -480,6 +483,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="compact while executing and write a .twpp directly "
                         "(overlapped trace->compact->write pipeline; -j sets "
                         "the consumer thread count)")
+    p.add_argument("--interp", choices=["tree", "compiled"], default=None,
+                   help="execution engine: 'compiled' translates the program "
+                        "once to dispatch-free Python (default; falls back to "
+                        "the tree-walker on unsupported IR), 'tree' forces the "
+                        "reference interpreter")
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("compact", help="compact a .wpp into an indexed .twpp",

@@ -42,6 +42,7 @@ from __future__ import annotations
 import os
 import queue
 import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -143,7 +144,11 @@ class _StreamingTracer(OnlinePartitioner):
             q.put_nowait(item)
         except queue.Full:
             self._metrics.inc("ingest.queue_stalls")
+            stall_start = time.perf_counter()
             q.put(item)
+            self._metrics.add_ms(
+                "ingest.stall", (time.perf_counter() - stall_start) * 1000.0
+            )
         self._metrics.observe("ingest.queue_depth", q.qsize())
 
 
@@ -202,6 +207,7 @@ def stream_compact(
     jobs: int = 1,
     max_events: Optional[int] = None,
     metrics: Optional[MetricsRegistry] = None,
+    interp: Optional[str] = None,
 ) -> StreamResult:
     """Run a program and write its compacted ``.twpp`` in one pass.
 
@@ -209,6 +215,11 @@ def stream_compact(
     overlapped; the output file is byte-identical to the two-phase
     ``write_twpp(compact_wpp(partition)...)`` route for any ``jobs``.
     ``jobs`` is the number of consumer threads (``0`` = one per CPU).
+    ``interp`` selects the execution engine (``"tree"``/``"compiled"``,
+    see :func:`repro.interp.run_program`); the producer's time splits
+    into ``ingest.interp`` (pure interpreter + tracer work) and
+    ``ingest.stall`` (blocked on consumer backpressure), alongside the
+    consumer-side ``ingest.compact`` timer.
     """
     from .parallel import resolve_jobs
 
@@ -237,6 +248,8 @@ def stream_compact(
     with metrics.timer("ingest.total"):
         for t in threads:
             t.start()
+        stalled_before = metrics.timers_ms.get("ingest.stall", 0.0)
+        execute_started = time.perf_counter()
         try:
             with metrics.timer("ingest.execute"):
                 run = run_program(
@@ -247,7 +260,14 @@ def stream_compact(
                     max_events=(
                         DEFAULT_MAX_EVENTS if max_events is None else max_events
                     ),
+                    interp=interp,
+                    metrics=metrics,
                 )
+            # Producer wall time minus backpressure blocking = time the
+            # interpreter (and tracer hooks) actually ran.
+            execute_ms = (time.perf_counter() - execute_started) * 1000.0
+            stalled_ms = metrics.timers_ms.get("ingest.stall", 0.0) - stalled_before
+            metrics.add_ms("ingest.interp", max(0.0, execute_ms - stalled_ms))
         finally:
             with metrics.timer("ingest.drain"):
                 for q in queues:
@@ -306,7 +326,9 @@ def stream_compact(
     metrics.inc("ingest.unique_traces", sum(len(fc.pairs) for fc in functions))
     metrics.inc("ingest.run_flushes", tracer.run_flushes)
     metrics.inc("ingest.bytes_written", bytes_written)
-    execute_s = metrics.timers_ms.get("ingest.execute", 0.0) / 1000.0
+    # Throughput over this call's own execute span (the accumulated
+    # ingest.execute timer can span several runs on a shared registry).
+    execute_s = execute_ms / 1000.0
     events_per_sec = events / execute_s if execute_s > 0 else float("inf")
 
     compacted = CompactedWpp(

@@ -1,0 +1,664 @@
+"""Compile IR functions to dispatch-free Python for traced execution.
+
+The tree-walker in :mod:`repro.interp.interpreter` pays for generality on
+every single event: an ``isinstance`` ladder per statement, a dict lookup
+per variable access, a method dispatch per traced block.  This module
+removes all of that by translating each :class:`~repro.ir.module.Program`
+*once* into generated Python source that is ``exec``'d into a set of
+per-function factories:
+
+* IR locals become real Python locals (mangled ``v_<name>``), so operand
+  access is a ``LOAD_FAST``, not a dict probe.
+* Straight-line regions become dispatch-free bodies: single-predecessor
+  ``Jump`` targets are merged into their predecessor ("superblocks"), so
+  a loop body that spans four IR blocks runs as one run of bytecode.
+  Multi-predecessor targets are dispatched by a single ``while``/``elif``
+  ladder over an integer label -- the only residual dispatch.
+* Tracing is fused into each block's preamble: one fuel decrement, one
+  list append, one capacity test.  The buffered run is handed to the
+  tracer's ``block_run`` protocol exactly as the tree-walker would --
+  same flush boundaries, same truncation point.
+* Expressions compile to native operators where Python semantics match
+  (:data:`~repro.ir.expr.PY_NATIVE_BINOPS`); comparisons are wrapped in
+  ``int(...)`` in value context so results stay ints; ``//`` and ``%``
+  call the same checked helpers as the tree-walker so error messages are
+  byte-identical.
+
+Observable behavior is *exactly* the tree-walker's: event stream,
+``FuelExhausted`` truncation point (a block that exceeds the budget is
+never traced, and pending runs are flushed before the raise), undefined
+variable / zero-division / missing-return errors, and
+:class:`~repro.interp.interpreter.RunResult` counters.  The differential
+suite in ``tests/test_interp_compiled.py`` enforces this over all
+workloads plus hypothesis-generated programs.
+
+Recursion safety
+----------------
+
+Generated workloads recurse thousands of IR frames deep, far past
+CPython's stack limit, so compiled functions cannot simply call each
+other.  Call-graph analysis picks one of two call mechanics per function:
+
+* **direct** -- functions whose static call subtree is acyclic and needs
+  at most :data:`DIRECT_DEPTH_CAP` Python frames are compiled as plain
+  functions and invoked directly (fastest path; covers leaf helpers and
+  shallow call layers).
+* **trampolined** -- everything else compiles to a generator that
+  ``yield``\\ s ``(callee_index, args)`` for each call; a driver loop
+  keeps the pending generators on an explicit Python list, so IR
+  recursion depth is bounded by memory, not the C stack.
+
+Programs containing constructs the translator cannot prove equivalent
+(non-identifier variable names, statement/terminator/expression
+*subclasses*, call-site arity mismatches, unknown callees, malformed
+CFGs) raise :class:`~repro.interp.errors.CompileUnsupported`; callers
+fall back to the tree-walker, which reproduces the reference semantics
+for those programs by construction.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+import weakref
+from array import array
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir.expr import (
+    INTRINSICS,
+    PY_COMPARISON_BINOPS,
+    PY_NATIVE_BINOPS,
+    BinOp,
+    Const,
+    Intrinsic,
+    UnaryOp,
+    Var,
+    _checked_div,
+    _checked_mod,
+)
+from ..ir.module import Function, Program
+from ..ir.stmt import (
+    Assign,
+    Breakpoint,
+    Call,
+    CondJump,
+    Jump,
+    Load,
+    Read,
+    Return,
+    Store,
+    Switch,
+    Write,
+)
+from .errors import CompileUnsupported, FuelExhausted, InterpError, UndefinedVariable
+from .interpreter import DEFAULT_MAX_EVENTS, RUN_BUFFER_CAP, RunResult
+from .tracer import NullTracer
+
+#: Engines selectable via ``run_program(..., interp=...)``.
+INTERP_CHOICES = ("tree", "compiled")
+
+#: Engine used when neither the caller nor :data:`INTERP_ENV` picks one.
+DEFAULT_INTERP = "compiled"
+
+#: Environment variable overriding the default engine (same values as
+#: :data:`INTERP_CHOICES`); an explicit ``interp=`` argument wins.
+INTERP_ENV = "REPRO_INTERP"
+
+#: Maximum Python stack frames a directly-called (non-trampolined) call
+#: subtree may need.  Deliberately far below CPython's recursion limit:
+#: the trampoline driver, tracer callbacks and test harness frames all
+#: share the same stack.
+DIRECT_DEPTH_CAP = 48
+
+
+def resolve_interp(interp: Optional[str]) -> str:
+    """Resolve an engine choice: explicit argument > env var > default."""
+    choice = interp if interp is not None else os.environ.get(INTERP_ENV, DEFAULT_INTERP)
+    if choice not in INTERP_CHOICES:
+        raise ValueError(
+            f"unknown interp engine {choice!r}; choose one of {INTERP_CHOICES}"
+        )
+    return choice
+
+
+# ----------------------------------------------------------------------
+# Code generation
+
+
+class _FunctionCodegen:
+    """Generates one ``_factory_<i>`` definition for one IR function."""
+
+    def __init__(
+        self,
+        func: Function,
+        fidx: int,
+        func_index: Dict[str, int],
+        direct: Dict[str, bool],
+        program: Program,
+    ):
+        self.func = func
+        self.fidx = fidx
+        self.func_index = func_index
+        self.direct = direct
+        self.program = program
+        self.lines: List[str] = []
+        self.intrinsics: Set[str] = set()
+        self.uses_div = False
+        self.uses_mod = False
+        self.roots: Set[int] = set()
+
+    # -- helpers -------------------------------------------------------
+
+    def fail(self, detail: str) -> "CompileUnsupported":
+        return CompileUnsupported(f"{self.func.name}: {detail}")
+
+    def mangle(self, name: object) -> str:
+        # Mangling keeps IR names from colliding with runtime helpers and
+        # builtins; anything that is not a plain identifier cannot become
+        # a Python local and forces tree fallback.
+        if not isinstance(name, str) or not name.isidentifier():
+            raise self.fail(f"variable name {name!r} is not an identifier")
+        return "v_" + name
+
+    def emit(self, depth: int, text: str) -> None:
+        self.lines.append("    " * depth + text)
+
+    # -- expressions ---------------------------------------------------
+
+    def expr(self, e, bool_ctx: bool = False) -> str:
+        t = type(e)
+        if t is Const:
+            return repr(e.value)
+        if t is Var:
+            return self.mangle(e.name)
+        if t is BinOp:
+            left = self.expr(e.left)
+            right = self.expr(e.right)
+            op = e.op
+            if op in PY_NATIVE_BINOPS:
+                return f"({left} {op} {right})"
+            if op in PY_COMPARISON_BINOPS:
+                cmp = f"({left} {op} {right})"
+                # Branch conditions only test truthiness; everywhere else
+                # the result must be an int like BINARY_OPS produces.
+                return cmp if bool_ctx else f"int{cmp}"
+            if op == "//":
+                self.uses_div = True
+                return f"_div({left}, {right})"
+            if op == "%":
+                self.uses_mod = True
+                return f"_mod({left}, {right})"
+            raise self.fail(f"binary operator {op!r} has no compiled form")
+        if t is UnaryOp:
+            operand = self.expr(e.operand)
+            if e.op == "-":
+                return f"(-{operand})"
+            if e.op == "!":
+                test = f"({operand} == 0)"
+                return test if bool_ctx else f"int{test}"
+            raise self.fail(f"unary operator {e.op!r} has no compiled form")
+        if t is Intrinsic:
+            if e.name not in INTRINSICS:
+                raise self.fail(f"unknown intrinsic {e.name!r}")
+            self.intrinsics.add(e.name)
+            argsrc = ", ".join(self.expr(a) for a in e.args)
+            return f"_i_{e.name}({argsrc})"
+        raise self.fail(f"expression {e!r} has no compiled form")
+
+    # -- statements ----------------------------------------------------
+
+    def emit_stmt(self, stmt, depth: int) -> None:
+        t = type(stmt)
+        if t is Assign:
+            self.emit(depth, f"{self.mangle(stmt.dest)} = {self.expr(stmt.expr)}")
+        elif t is Read:
+            self.emit(depth, f"{self.mangle(stmt.dest)} = _next_in()")
+        elif t is Load:
+            self.emit(depth, f"{self.mangle(stmt.dest)} = _hget({self.expr(stmt.addr)}, 0)")
+        elif t is Store:
+            # Assignment evaluates the RHS before the subscript target in
+            # both engines, so value-before-address order is preserved.
+            self.emit(depth, f"_heap[{self.expr(stmt.addr)}] = {self.expr(stmt.value)}")
+        elif t is Write:
+            self.emit(depth, f"_out_append({self.expr(stmt.expr)})")
+        elif t is Call:
+            self.emit_call(stmt, depth)
+        elif t is Breakpoint:
+            pass  # inert marker, same as the tree-walker
+        else:
+            raise self.fail(f"statement {stmt!r} has no compiled form")
+
+    def emit_call(self, stmt: Call, depth: int) -> None:
+        callee_idx = self.func_index.get(stmt.callee)
+        if callee_idx is None:
+            raise self.fail(f"call to unknown function {stmt.callee!r}")
+        callee = self.program.functions[stmt.callee]
+        if len(stmt.args) != len(callee.params):
+            # The tree-walker zips silently; a compiled def would raise
+            # TypeError, so arity mismatches must run on the tree.
+            raise self.fail(
+                f"call to {stmt.callee!r} passes {len(stmt.args)} args "
+                f"for {len(callee.params)} params"
+            )
+        argsrc = ", ".join(self.expr(a) for a in stmt.args)
+        if self.direct[stmt.callee]:
+            call = f"_F[{callee_idx}]({argsrc})"
+        else:
+            tup = f"({argsrc},)" if stmt.args else "()"
+            call = f"(yield ({callee_idx}, {tup}))"
+        if stmt.dest is None:
+            self.emit(depth, call)
+        else:
+            msg = (
+                f"{self.func.name}: call expected a return value "
+                "but callee returned none"
+            )
+            self.emit(depth, f"_rv = {call}")
+            self.emit(depth, "if _rv is None:")
+            self.emit(depth + 1, f"raise InterpError({msg!r})")
+            self.emit(depth, f"{self.mangle(stmt.dest)} = _rv")
+
+    # -- blocks --------------------------------------------------------
+
+    def emit_superblock(self, root: int, depth: int, in_loop: bool) -> None:
+        """Emit ``root`` plus every single-predecessor Jump chain off it."""
+        bid = root
+        merged: Set[int] = set()
+        while True:
+            if bid in merged:
+                raise self.fail(f"superblock cycle through B{bid}")
+            merged.add(bid)
+            block = self.func.blocks[bid]
+            # Fused tracing preamble: fuel, append, capacity -- in exactly
+            # the tree-walker's _note_block order, so a block past the
+            # budget is never traced and flush segmentation is identical.
+            self.emit(depth, "_fuel[0] = _f = _fuel[0] - 1")
+            self.emit(depth, "if _f < 0: _fuel_fail()")
+            self.emit(depth, f"_t({bid})")
+            self.emit(depth, f"if len(_tb) == {RUN_BUFFER_CAP}: _spill()")
+            for stmt in block.statements:
+                self.emit_stmt(stmt, depth)
+            term = block.terminator
+            t = type(term)
+            if t is Jump:
+                target = term.target
+                if target not in self.func.blocks:
+                    raise self.fail(f"B{bid} targets missing block B{target}")
+                if target in self.roots:
+                    self.emit(depth, f"_L = {target}")
+                    if in_loop:
+                        self.emit(depth, "continue")
+                    return
+                bid = target  # single-predecessor: merge into this superblock
+                continue
+            if t is CondJump:
+                cond = self.expr(term.cond, bool_ctx=True)
+                self.emit(
+                    depth,
+                    f"_L = {term.then_target} if {cond} else {term.else_target}",
+                )
+                if in_loop:
+                    self.emit(depth, "continue")
+                return
+            if t is Switch:
+                ncases = len(term.cases)
+                self.emit(depth, f"_s = {self.expr(term.selector)}")
+                if ncases:
+                    cases = "(" + ", ".join(str(c) for c in term.cases) + ",)"
+                    self.emit(
+                        depth,
+                        f"_L = {cases}[_s] if 0 <= _s < {ncases} else {term.default}",
+                    )
+                else:
+                    self.emit(depth, f"_L = {term.default}")
+                if in_loop:
+                    self.emit(depth, "continue")
+                return
+            if t is Return:
+                if term.value is not None:
+                    self.emit(depth, f"_rv = {self.expr(term.value)}")
+                else:
+                    self.emit(depth, "_rv = None")
+                self.emit(depth, "if _tb: _spill()")
+                self.emit(depth, "_leave()")
+                self.emit(depth, "return _rv")
+                return
+            raise self.fail(f"B{bid} has invalid terminator {term!r}")
+
+    # -- whole function ------------------------------------------------
+
+    def scan_structure(self) -> bool:
+        """Compute dispatch roots; returns whether entry is re-entrant."""
+        func = self.func
+        if len(set(func.params)) != len(func.params):
+            raise self.fail("duplicate parameter names")
+        if func.entry not in func.blocks:
+            raise self.fail(f"missing entry block B{func.entry}")
+        npreds: Dict[int, int] = {}
+        branch_targets: Set[int] = set()
+        jump_targets: Set[int] = set()
+        for bid, block in func.blocks.items():
+            term = block.terminator
+            t = type(term)
+            if t is Jump:
+                targets: Tuple[int, ...] = (term.target,)
+                jump_targets.add(term.target)
+            elif t is CondJump:
+                targets = (term.then_target, term.else_target)
+                branch_targets.update(targets)
+            elif t is Switch:
+                targets = tuple(term.cases) + (term.default,)
+                branch_targets.update(targets)
+            elif t is Return:
+                targets = ()
+            else:
+                raise self.fail(f"B{bid} has invalid terminator {term!r}")
+            for target in targets:
+                if target not in func.blocks:
+                    raise self.fail(f"B{bid} targets missing block B{target}")
+                npreds[target] = npreds.get(target, 0) + 1
+        # Roots get a dispatch arm; everything else is merged into the
+        # superblock of its unique Jump predecessor.
+        self.roots = branch_targets | {
+            t for t in jump_targets if npreds.get(t, 0) != 1
+        }
+        reentrant = func.entry in npreds
+        if reentrant:
+            self.roots.add(func.entry)
+        return reentrant
+
+    def generate(self) -> List[str]:
+        func = self.func
+        reentrant = self.scan_structure()
+        is_direct = self.direct[func.name]
+
+        self.emit(2, "_calls[0] += 1")
+        self.emit(2, "if _tb: _spill()")
+        self.emit(2, f"_enter({func.name!r})")
+        if func.entry in self.roots:
+            self.emit(2, f"_L = {func.entry}")
+        else:
+            self.emit_superblock(func.entry, depth=2, in_loop=False)
+        if self.roots:
+            self.emit(2, "while True:")
+            keyword = "if"
+            for root in sorted(self.roots):
+                self.emit(3, f"{keyword} _L == {root}:")
+                self.emit_superblock(root, depth=4, in_loop=True)
+                keyword = "elif"
+            unreachable = f"{func.name}: dispatch reached unknown block"
+            self.emit(3, f"raise InterpError({unreachable!r})")
+
+        params = ", ".join(self.mangle(p) for p in func.params)
+        sig = f"{params}, *, _t=_t, _tb=_tb, _fuel=_fuel, _F=_F" if params else "*, _t=_t, _tb=_tb, _fuel=_fuel, _F=_F"
+        out = [
+            f"def _factory_{self.fidx}(_rt):",
+            "    (_F, _heap, _next_in, _out_append, _t, _tb, _spill,"
+            " _enter, _leave, _calls, _fuel, _fuel_fail) = _rt",
+        ]
+        if any(type(s) is Load for b in func.blocks.values() for s in b.statements):
+            out.append("    _hget = _heap.get")
+        if self.uses_div:
+            out.append("    _div = _CHECKED_DIV")
+        if self.uses_mod:
+            out.append("    _mod = _CHECKED_MOD")
+        for name in sorted(self.intrinsics):
+            out.append(f"    _i_{name} = _INTR[{name!r}]")
+        out.append(f"    def _fn({sig}):")
+        if not is_direct:
+            # Dead yield forces generator-ness even when every call site
+            # in this body compiles to a direct call.
+            out.append("        if 0: yield")
+        out.extend(self.lines)
+        out.append(f"    _fn.__qualname__ = {func.name!r}")
+        out.append("    return _fn")
+        return out
+
+
+def _direct_depths(program: Program) -> Dict[str, float]:
+    """Worst-case Python frame depth of each function's direct call subtree.
+
+    ``inf`` marks functions on (or above) a call-graph cycle; those must
+    run on the trampoline.  DFS over a static graph: an edge into an
+    in-progress node is a genuine back edge, i.e. recursion.
+    """
+    inf = float("inf")
+    memo: Dict[str, float] = {}
+    in_progress: Set[str] = set()
+
+    def depth(name: str) -> float:
+        cached = memo.get(name)
+        if cached is not None:
+            return cached
+        if name in in_progress:
+            return inf
+        func = program.functions.get(name)
+        if func is None:
+            return inf  # caller's emit_call rejects this program anyway
+        in_progress.add(name)
+        worst = 0.0
+        for block in func.blocks.values():
+            for stmt in block.statements:
+                if type(stmt) is Call:
+                    d = depth(stmt.callee)
+                    if d > worst:
+                        worst = d
+        in_progress.discard(name)
+        memo[name] = result = 1 + worst
+        return result
+
+    for name in program.functions:
+        depth(name)
+    return memo
+
+
+_BASE_NAMESPACE = {
+    "InterpError": InterpError,
+    "_INTR": INTRINSICS,
+    "_CHECKED_DIV": _checked_div,
+    "_CHECKED_MOD": _checked_mod,
+}
+
+_NAME_IN_MESSAGE = re.compile(r"'([^']+)'")
+
+
+def _undefined_var(exc: Exception) -> Optional[str]:
+    """Extract the IR variable behind a NameError from generated code."""
+    name = getattr(exc, "name", None)  # absent before Python 3.10
+    if not name:
+        match = _NAME_IN_MESSAGE.search(str(exc))
+        name = match.group(1) if match else None
+    if name and name.startswith("v_"):
+        return name[2:]
+    return None
+
+
+class CompiledProgram:
+    """A program translated to generated Python, reusable across runs.
+
+    Compilation snapshots the program (functions, ``main``, arities);
+    mutating the :class:`~repro.ir.module.Program` afterwards requires
+    compiling again.  Instances hold no reference to the program, so the
+    :func:`compiled_for` cache never keeps programs alive.
+    """
+
+    def __init__(self, program: Program):
+        try:
+            func_names = list(program.functions)
+            func_index = {name: i for i, name in enumerate(func_names)}
+            if program.main not in func_index:
+                raise CompileUnsupported(f"no function named {program.main!r}")
+            depths = _direct_depths(program)
+            direct = {
+                name: depths[name] <= DIRECT_DEPTH_CAP for name in func_names
+            }
+            lines: List[str] = []
+            for i, name in enumerate(func_names):
+                codegen = _FunctionCodegen(
+                    program.functions[name], i, func_index, direct, program
+                )
+                lines.extend(codegen.generate())
+                lines.append("")
+            source = "\n".join(lines)
+            namespace = dict(_BASE_NAMESPACE)
+            exec(compile(source, "<repro.interp.compile>", "exec"), namespace)
+        except RecursionError:
+            raise CompileUnsupported(
+                "static call graph too deep to analyze"
+            ) from None
+        self.source = source
+        self.func_names = func_names
+        self._factories = [namespace[f"_factory_{i}"] for i in range(len(func_names))]
+        self._direct = [direct[name] for name in func_names]
+        self._main_index = func_index[program.main]
+        self._main_params = len(program.functions[program.main].params)
+
+    def run(
+        self,
+        args: Sequence[int] = (),
+        inputs=(),
+        tracer=None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> RunResult:
+        """Run ``main(*args)``; same contract as :meth:`Interpreter.run`."""
+        if tracer is None:
+            tracer = NullTracer()
+        if len(args) != self._main_params:
+            raise InterpError(
+                f"main expects {self._main_params} args, got {len(args)}"
+            )
+        heap: Dict[int, int] = {}
+        output: List[int] = []
+        calls = [0]
+        fuel = [max_events]
+        block_run = getattr(tracer, "block_run", None)
+        if block_run is not None:
+            run_buf: List[int] = []
+
+            def spill(_buf=run_buf, _block_run=block_run):
+                _block_run(array("q", _buf), len(_buf))
+                del _buf[:]
+
+            trace_block = run_buf.append
+            trace_buf = run_buf
+        else:
+            trace_buf = ()  # len()==0 and falsy: capacity/flush tests no-op
+            spill = None
+            trace_block = tracer.block
+
+        def fuel_fail():
+            if trace_buf:
+                spill()
+            raise FuelExhausted(f"exceeded {max_events} basic-block events")
+
+        next_in = partial(next, iter(inputs), 0)
+        functions: List[Optional[Callable]] = [None] * len(self._factories)
+        runtime = (
+            functions,
+            heap,
+            next_in,
+            output.append,
+            trace_block,
+            trace_buf,
+            spill,
+            tracer.enter,
+            tracer.leave,
+            calls,
+            fuel,
+            fuel_fail,
+        )
+        for i, factory in enumerate(self._factories):
+            functions[i] = factory(runtime)
+        try:
+            if self._direct[self._main_index]:
+                return_value = functions[self._main_index](*args)
+            else:
+                return_value = _trampoline(functions, self._main_index, args)
+        except (NameError, UnboundLocalError) as exc:
+            name = _undefined_var(exc)
+            if name is None:
+                raise
+            raise UndefinedVariable(name) from None
+        return RunResult(
+            return_value=return_value,
+            output=output,
+            blocks_executed=max_events - fuel[0],
+            calls_made=calls[0],
+        )
+
+
+def _trampoline(functions, main_index: int, args: Sequence[int]):
+    """Drive trampolined generators with an explicit activation stack."""
+    stack: List = []
+    gen = functions[main_index](*args)
+    send = gen.send
+    value = None
+    while True:
+        try:
+            request = send(value)
+        except StopIteration as stop:
+            if not stack:
+                return stop.value
+            gen = stack.pop()
+            send = gen.send
+            value = stop.value
+        else:
+            stack.append(gen)
+            gen = functions[request[0]](*request[1])
+            send = gen.send
+            value = None
+
+
+# ----------------------------------------------------------------------
+# Cache + engine entry points
+
+_cache_lock = threading.Lock()
+# id(program) -> (weakref(program), CompiledProgram).  The weakref both
+# validates the id (ids are reused after GC) and evicts dead entries.
+_cache: Dict[int, Tuple[Callable, CompiledProgram]] = {}
+
+
+def compiled_for(program: Program, metrics=None) -> CompiledProgram:
+    """Return the cached :class:`CompiledProgram` for ``program``.
+
+    Compiles on first sight (timed under ``interp.compile`` when a
+    metrics registry is passed).  Raises
+    :class:`~repro.interp.errors.CompileUnsupported` if the program
+    cannot be compiled.
+    """
+    key = id(program)
+    with _cache_lock:
+        hit = _cache.get(key)
+    if hit is not None and hit[0]() is program:
+        return hit[1]
+    if metrics is not None:
+        with metrics.timer("interp.compile"):
+            compiled = CompiledProgram(program)
+        metrics.inc("interp.compiles")
+    else:
+        compiled = CompiledProgram(program)
+    try:
+        ref = weakref.ref(program, lambda _r, _k=key: _cache.pop(_k, None))
+    except TypeError:
+        return compiled  # unweakrefable program: usable, just not cached
+    with _cache_lock:
+        _cache[key] = (ref, compiled)
+    return compiled
+
+
+def run_compiled(
+    program: Program,
+    args: Sequence[int] = (),
+    inputs=(),
+    tracer=None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+    metrics=None,
+) -> RunResult:
+    """Compile (or reuse) and run; no tree fallback -- raises
+    :class:`~repro.interp.errors.CompileUnsupported` on untranslatable
+    programs.  :func:`repro.interp.run_program` adds the fallback."""
+    return compiled_for(program, metrics=metrics).run(
+        args=args, inputs=inputs, tracer=tracer, max_events=max_events
+    )

@@ -18,3 +18,14 @@ class FuelExhausted(InterpError):
 
 class UndefinedVariable(InterpError):
     """Raised when an expression reads a variable that was never assigned."""
+
+
+class CompileUnsupported(InterpError):
+    """Raised when a program contains constructs the compiled engine
+    cannot translate (non-identifier variable names, unknown statement
+    or terminator subclasses, call-site arity mismatches, ...).
+
+    Callers that select the compiled engine catch this and fall back to
+    the tree-walking reference interpreter, so the condition is a
+    performance downgrade, never a failure.
+    """

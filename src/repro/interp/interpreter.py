@@ -261,8 +261,40 @@ def run_program(
     inputs: Iterable[int] = (),
     tracer=None,
     max_events: int = DEFAULT_MAX_EVENTS,
+    interp: Optional[str] = None,
+    metrics=None,
 ) -> RunResult:
-    """Convenience wrapper: build an :class:`Interpreter` and run once."""
+    """Run ``program`` once on the selected engine.
+
+    ``interp`` picks the engine: ``"compiled"`` (generated dispatch-free
+    code, see :mod:`repro.interp.compile`) or ``"tree"`` (this module's
+    reference walker).  ``None`` defers to the ``REPRO_INTERP``
+    environment variable, then to the compiled default.  Programs the
+    compiler cannot translate fall back to the tree-walker
+    automatically; both engines produce identical event streams,
+    results, and errors.
+
+    When a :class:`~repro.obs.metrics.MetricsRegistry` is passed, engine
+    selection is recorded under ``interp.compiled_runs`` /
+    ``interp.tree_runs`` / ``interp.fallbacks``, and first-sight
+    compilation under the ``interp.compile`` timer.
+    """
+    from .compile import CompileUnsupported, compiled_for, resolve_interp
+
+    if resolve_interp(interp) == "compiled":
+        try:
+            compiled = compiled_for(program, metrics=metrics)
+        except CompileUnsupported:
+            if metrics is not None:
+                metrics.inc("interp.fallbacks")
+        else:
+            if metrics is not None:
+                metrics.inc("interp.compiled_runs")
+            return compiled.run(
+                args=args, inputs=inputs, tracer=tracer, max_events=max_events
+            )
+    if metrics is not None:
+        metrics.inc("interp.tree_runs")
     return Interpreter(program, max_events=max_events).run(
         args=args, inputs=inputs, tracer=tracer
     )

@@ -95,6 +95,18 @@ UNARY_OPS: Dict[str, Callable[[int], int]] = {
 }
 
 
+#: Binary operators whose native Python operator has *exactly* the
+#: semantics of its :data:`BINARY_OPS` entry on arbitrary ints -- same
+#: result, same exception type and message -- so the compiled engine
+#: (:mod:`repro.interp.compile`) may emit them as plain bytecode.
+PY_NATIVE_BINOPS = frozenset({"+", "-", "*", "&", "|", "^", ">>", "<<"})
+
+#: Comparison operators: natively emittable too, but their
+#: :data:`BINARY_OPS` entries coerce to int, so value-context emission
+#: wraps them in ``int(...)`` (branch conditions skip the wrap).
+PY_COMPARISON_BINOPS = frozenset({"<", "<=", ">", ">=", "==", "!="})
+
+
 def _checked_div(a: int, b: int) -> int:
     if b == 0:
         raise ZeroDivisionError("IR integer division by zero")

@@ -168,8 +168,14 @@ def trace_from_tuples(tuples: Iterable[Tuple]) -> WppTrace:
     return builder.finish()
 
 
-def collect_wpp(program, args=(), inputs=(), max_events=None) -> WppTrace:
-    """Run a program and return its WPP in one call."""
+def collect_wpp(
+    program, args=(), inputs=(), max_events=None, interp=None, metrics=None
+) -> WppTrace:
+    """Run a program and return its WPP in one call.
+
+    ``interp`` selects the execution engine and ``metrics`` receives the
+    ``interp.*`` counters; see :func:`repro.interp.run_program`.
+    """
     from ..interp.interpreter import DEFAULT_MAX_EVENTS, run_program
 
     builder = WppBuilder()
@@ -179,5 +185,7 @@ def collect_wpp(program, args=(), inputs=(), max_events=None) -> WppTrace:
         inputs=inputs,
         tracer=builder,
         max_events=DEFAULT_MAX_EVENTS if max_events is None else max_events,
+        interp=interp,
+        metrics=metrics,
     )
     return builder.finish()

@@ -1,0 +1,523 @@
+"""Differential tests: the compiled engine vs the tree-walking reference.
+
+The compiled engine (:mod:`repro.interp.compile`) must be *observably
+indistinguishable* from the tree-walker: same event stream (including
+``block_run`` flush segmentation), same ``RunResult``, same ``.twpp``
+bytes, same errors at the same points.  Everything here runs both
+engines explicitly and compares.
+"""
+
+import gc
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compact import compact_wpp, serialize_twpp
+from repro.compact.stream import stream_compact
+from repro.interp import (
+    CompiledProgram,
+    CompileUnsupported,
+    CountingTracer,
+    FuelExhausted,
+    InterpError,
+    Interpreter,
+    ListTracer,
+    UndefinedVariable,
+    compiled_for,
+    resolve_interp,
+    run_compiled,
+    run_program,
+)
+from repro.ir import ProgramBuilder, binop, intrinsic
+from repro.ir.expr import Const
+from repro.ir.stmt import Assign
+from repro.obs import MetricsRegistry
+from repro.trace import collect_wpp, partition_wpp
+from repro.workloads import WorkloadSpec, generate_program
+from repro.workloads.specs import WORKLOAD_NAMES, workload
+
+
+def tree_run(program, args=(), inputs=(), tracer=None, max_events=50_000_000):
+    return Interpreter(program, max_events=max_events).run(
+        args=args, inputs=inputs, tracer=tracer
+    )
+
+
+def assert_identical(program, args=(), inputs=(), max_events=50_000_000):
+    """Run both engines and compare events + results; returns the result."""
+    lt_tree, lt_comp = ListTracer(), ListTracer()
+    r_tree = tree_run(program, args, inputs, lt_tree, max_events)
+    r_comp = run_compiled(
+        program, args=args, inputs=inputs, tracer=lt_comp, max_events=max_events
+    )
+    assert lt_tree.events == lt_comp.events
+    assert r_tree.return_value == r_comp.return_value
+    assert r_tree.output == r_comp.output
+    assert r_tree.blocks_executed == r_comp.blocks_executed
+    assert r_tree.calls_made == r_comp.calls_made
+    return r_comp
+
+
+class _PerEventTracer:
+    """A tracer *without* block_run: forces the per-event fast path."""
+
+    def __init__(self):
+        self.events = []
+
+    def enter(self, name):
+        self.events.append(("enter", name))
+
+    def block(self, block_id):
+        self.events.append(("block", block_id))
+
+    def leave(self):
+        self.events.append(("leave",))
+
+
+class _SegmentTracer:
+    """Records the length of every block_run flush (segmentation probe)."""
+
+    def __init__(self):
+        self.segments = []
+        self.blocks = []
+
+    def enter(self, name):
+        self.blocks.append(("enter", name))
+
+    def block_run(self, buf, n):
+        self.segments.append(n)
+        self.blocks.extend(buf[:n])
+
+    def leave(self):
+        self.blocks.append(("leave",))
+
+
+@st.composite
+def tiny_specs(draw):
+    return WorkloadSpec(
+        name="fuzz",
+        seed=draw(st.integers(1, 10_000)),
+        n_functions=draw(st.integers(3, 10)),
+        layers=draw(st.integers(2, 3)),
+        main_iterations=draw(st.integers(2, 15)),
+        loop_iters=(1, draw(st.integers(2, 5))),
+        paths=(1, draw(st.integers(2, 5))),
+        path_length=(1, draw(st.integers(1, 3))),
+        phase=(1, draw(st.integers(1, 4))),
+        branching=draw(st.sampled_from([0.5, 1.0, 1.5])),
+        variety_choices=(1, 2, 3),
+    )
+
+
+class TestWorkloadDifferential:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_events_and_result_identical(self, name):
+        program, _spec = workload(name, scale=0.05)
+        assert_identical(program)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_twpp_bytes_identical(self, name):
+        program, _spec = workload(name, scale=0.05)
+        blobs = []
+        for interp in ("tree", "compiled"):
+            wpp = collect_wpp(program, interp=interp)
+            compacted, _stats = compact_wpp(partition_wpp(wpp))
+            blobs.append(serialize_twpp(compacted))
+        assert blobs[0] == blobs[1]
+
+    def test_stream_compact_bytes_identical(self, tmp_path):
+        program, _spec = workload("perl-like", scale=0.1)
+        paths = {}
+        for interp in ("tree", "compiled"):
+            out = tmp_path / f"{interp}.twpp"
+            stream_compact(program, out, interp=interp)
+            paths[interp] = out.read_bytes()
+        assert paths["tree"] == paths["compiled"]
+
+    @given(tiny_specs())
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_hypothesis_programs_identical(self, spec):
+        program = generate_program(spec)
+        assert_identical(program, max_events=500_000)
+
+    @given(tiny_specs(), st.integers(1, 400))
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_hypothesis_fuel_truncation_identical(self, spec, max_events):
+        """Cutting a random program off mid-run truncates both engines at
+        the same event, with identical partial streams."""
+        program = generate_program(spec)
+        streams = []
+        for engine in ("tree", "compiled"):
+            tracer = ListTracer()
+            try:
+                if engine == "tree":
+                    tree_run(program, tracer=tracer, max_events=max_events)
+                else:
+                    run_compiled(program, tracer=tracer, max_events=max_events)
+                outcome = "done"
+            except FuelExhausted as exc:
+                outcome = str(exc)
+            streams.append((outcome, tracer.events))
+        assert streams[0] == streams[1]
+
+
+class TestEventStreamDetail:
+    def test_per_event_tracer_identical(self, caller_program):
+        t_tree, t_comp = _PerEventTracer(), _PerEventTracer()
+        tree_run(caller_program, tracer=t_tree)
+        run_compiled(caller_program, tracer=t_comp)
+        assert t_tree.events == t_comp.events
+
+    def test_flush_segmentation_identical(self):
+        """Run-buffer flush boundaries (capacity + enter/leave) match."""
+        program, _spec = workload("gcc-like", scale=0.05)
+        t_tree, t_comp = _SegmentTracer(), _SegmentTracer()
+        tree_run(program, tracer=t_tree)
+        run_compiled(program, tracer=t_comp)
+        assert t_tree.segments == t_comp.segments
+        assert t_tree.blocks == t_comp.blocks
+
+    def test_capacity_flush_segmentation(self):
+        """A >8192-block straight-line run must split at the same points."""
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        b1 = fb.block()
+        b2 = fb.block()
+        b3 = fb.block()
+        b1.assign("i", 0).jump(b2)
+        b2.assign("i", binop("+", "i", 1)).branch(
+            binop("<", "i", 9000), b2, b3
+        )
+        b3.ret("i")
+        t_tree, t_comp = _SegmentTracer(), _SegmentTracer()
+        tree_run(pb.build(), tracer=t_tree)
+        run_compiled(pb.build(), tracer=t_comp)
+        assert max(t_tree.segments) == 8192
+        assert t_tree.segments == t_comp.segments
+        assert t_tree.blocks == t_comp.blocks
+
+    def test_fuel_exhaustion_mid_block_flushes_pending_run(self):
+        """The block that exceeds the budget is never traced, and the
+        pending run is flushed before FuelExhausted -- both engines."""
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        b1 = fb.block()
+        b1.jump(b1)
+        program = pb.build()
+        outcomes = []
+        for engine in (tree_run, run_compiled):
+            tracer = _SegmentTracer()
+            with pytest.raises(FuelExhausted, match="exceeded 1000"):
+                engine(program, tracer=tracer, max_events=1000)
+            outcomes.append((tracer.segments, tracer.blocks))
+        assert outcomes[0] == outcomes[1]
+        assert sum(outcomes[0][0]) == 1000  # budget-exceeding block absent
+
+
+class TestErrorParity:
+    def test_undefined_variable(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        fb.block().ret("ghost")
+        program = pb.build()
+        for engine in (tree_run, run_compiled):
+            with pytest.raises(UndefinedVariable) as exc_info:
+                engine(program)
+            assert exc_info.value.args == ("ghost",)
+
+    def test_undefined_variable_in_callee(self):
+        pb = ProgramBuilder()
+        leaf = pb.function("leaf")
+        leaf.block().assign("x", binop("+", "missing", 1)).ret("x")
+        fb = pb.function("main")
+        fb.block().call("leaf", [], dest="r").ret("r")
+        program = pb.build()
+        for engine in (tree_run, run_compiled):
+            with pytest.raises(UndefinedVariable) as exc_info:
+                engine(program)
+            assert exc_info.value.args == ("missing",)
+
+    @pytest.mark.parametrize(
+        "op,message", [("//", "division"), ("%", "modulo")]
+    )
+    def test_zero_division_messages(self, op, message):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        fb.block().assign("x", binop(op, 1, 0)).ret("x")
+        program = pb.build()
+        texts = []
+        for engine in (tree_run, run_compiled):
+            with pytest.raises(ZeroDivisionError) as exc_info:
+                engine(program)
+            texts.append(str(exc_info.value))
+        assert texts[0] == texts[1]
+        assert message in texts[0]
+
+    def test_store_evaluates_value_before_address(self):
+        # Assignment semantics: the stored value is evaluated before the
+        # address, so the undefined variable must win on both engines
+        # even though the address would divide by zero.
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        fb.block().store(binop("//", 1, 0), "ghost").ret(0)
+        program = pb.build()
+        for engine in (tree_run, run_compiled):
+            with pytest.raises(UndefinedVariable) as exc_info:
+                engine(program)
+            assert exc_info.value.args == ("ghost",)
+
+    def test_call_without_return_value_into_dest(self):
+        pb = ProgramBuilder()
+        void = pb.function("void")
+        void.block().ret()
+        fb = pb.function("main")
+        fb.block().call("void", [], dest="r").ret(0)
+        program = pb.build()
+        for engine in (tree_run, run_compiled):
+            with pytest.raises(InterpError, match="return value") as exc_info:
+                engine(program)
+            assert str(exc_info.value).startswith("main:")
+
+    def test_main_arity_message(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main", params=("a",))
+        fb.block().ret("a")
+        program = pb.build()
+        for engine in (tree_run, run_compiled):
+            with pytest.raises(InterpError, match="main expects 1 args, got 0"):
+                engine(program)
+
+    def test_fuel_exhausted_message(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        b1 = fb.block()
+        b1.jump(b1)
+        program = pb.build()
+        for engine in (tree_run, run_compiled):
+            with pytest.raises(FuelExhausted, match="exceeded 77 basic-block"):
+                engine(program, max_events=77)
+
+
+class TestSemanticsDetail:
+    def test_comparisons_yield_ints_not_bools(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        fb.block().assign(
+            "s", binop("+", binop("<", 1, 2), binop("==", 3, 3))
+        ).ret(binop("<", 0, "s"))
+        result = run_compiled(pb.build())
+        assert result.return_value == 1
+        assert type(result.return_value) is int
+        assert type(result.return_value) is not bool
+
+    def test_switch_out_of_range_and_duplicates(self):
+        from repro.ir.builder import FunctionBuilder  # noqa: F401
+
+        for selector in (-1, 0, 1, 2, 3, 99):
+            pb = ProgramBuilder()
+            fb = pb.function("main", params=("sel",))
+            b1 = fb.block()
+            b2 = fb.block()
+            b3 = fb.block()
+            b4 = fb.block()
+            b1.switch("sel", [b2, b3, b2], default=b4)
+            b2.assign("r", 10).ret("r")
+            b3.assign("r", 20).ret("r")
+            b4.assign("r", 30).ret("r")
+            assert_identical(pb.build(), args=[selector])
+
+    def test_read_exhaustion_yields_zero(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        fb.block().read("a").read("b").read("c").write("a").write("b").write(
+            "c"
+        ).ret(0)
+        result = assert_identical(pb.build(), inputs=[4, 5])
+        assert result.output == [4, 5, 0]
+
+    def test_heap_shared_across_functions(self):
+        pb = ProgramBuilder()
+        writer = pb.function("writer")
+        writer.block().store(5, 99).ret(0)
+        fb = pb.function("main")
+        fb.block().call("writer", []).load("v", 5).ret("v")
+        assert assert_identical(pb.build()).return_value == 99
+
+    def test_intrinsics(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        fb.block().assign("y", intrinsic("f1", 10)).assign(
+            "z", intrinsic("max", "y", intrinsic("lcg", 7))
+        ).ret(binop("+", "y", "z"))
+        assert_identical(pb.build())
+
+    def test_deep_recursion_runs_on_trampoline(self):
+        """5000-deep IR recursion must not hit Python's stack limit."""
+        pb = ProgramBuilder()
+        f = pb.function("down", params=("n",))
+        b1 = f.block()
+        b2 = f.block()
+        b3 = f.block()
+        b1.branch(binop(">", "n", 0), b2, b3)
+        b2.call("down", [binop("-", "n", 1)], dest="r").ret("r")
+        b3.ret(0)
+        fb = pb.function("main")
+        fb.block().call("down", [5000], dest="r").ret("r")
+        result = run_compiled(pb.build())
+        assert result.return_value == 0
+        assert result.calls_made == 5002
+
+    def test_acyclic_helpers_compile_to_direct_calls(self):
+        pb = ProgramBuilder()
+        leaf = pb.function("leaf", params=("x",))
+        leaf.block().ret(binop("+", "x", 1))
+        mid = pb.function("mid", params=("x",))
+        mid.block().call("leaf", ["x"], dest="a").ret("a")
+        fb = pb.function("main")
+        fb.block().call("mid", [41], dest="r").ret("r")
+        compiled = compiled_for(pb.build())
+        # An acyclic two-level chain needs no trampoline at all.
+        assert "yield" not in compiled.source
+        assert compiled.run().return_value == 42
+
+
+class TestFallbackAndSelection:
+    def _unsupported_program(self):
+        pb = ProgramBuilder()
+        fb = pb.function("main")
+        block = fb.block()
+        block.ret(0)
+        program = pb.build()
+        # A variable name that cannot become a Python local.
+        program.functions["main"].blocks[1].statements.append(
+            Assign("not an identifier", Const(1))
+        )
+        return program
+
+    def test_compile_unsupported_raises(self):
+        with pytest.raises(CompileUnsupported, match="not an identifier"):
+            compiled_for(self._unsupported_program())
+
+    def test_run_program_falls_back_to_tree(self):
+        metrics = MetricsRegistry()
+        result = run_program(
+            self._unsupported_program(), interp="compiled", metrics=metrics
+        )
+        assert result.return_value == 0
+        assert metrics.counters["interp.fallbacks"] == 1
+        assert metrics.counters["interp.tree_runs"] == 1
+        assert "interp.compiled_runs" not in metrics.counters
+
+    def test_arity_mismatch_falls_back(self):
+        pb = ProgramBuilder()
+        leaf = pb.function("leaf", params=("a",))
+        leaf.block().ret("a")
+        fb = pb.function("main")
+        fb.block().call("leaf", [1], dest="r").ret("r")
+        program = pb.build()
+        # The builder verifies arities, so widen the params afterwards --
+        # the tree-walker tolerates the mismatch via dict(zip(...)).
+        program.functions["leaf"].params = ("a", "b")
+        with pytest.raises(CompileUnsupported, match="arity|passes 1 args"):
+            compiled_for(program)
+        # Fallback must reproduce the tree-walker's permissive zip.
+        assert run_program(program, interp="compiled").return_value == 1
+
+    def test_engine_counters(self):
+        pb = ProgramBuilder()
+        pb.function("main").block().ret(0)
+        program = pb.build()
+        metrics = MetricsRegistry()
+        run_program(program, interp="compiled", metrics=metrics)
+        assert metrics.counters["interp.compiled_runs"] == 1
+        assert metrics.counters["interp.compiles"] == 1
+        assert "interp.compile" in metrics.timers_ms
+        run_program(program, interp="compiled", metrics=metrics)
+        assert metrics.counters["interp.compiled_runs"] == 2
+        assert metrics.counters["interp.compiles"] == 1  # cache hit
+        run_program(program, interp="tree", metrics=metrics)
+        assert metrics.counters["interp.tree_runs"] == 1
+
+    def test_resolve_interp(self, monkeypatch):
+        monkeypatch.delenv("REPRO_INTERP", raising=False)
+        assert resolve_interp(None) == "compiled"
+        assert resolve_interp("tree") == "tree"
+        monkeypatch.setenv("REPRO_INTERP", "tree")
+        assert resolve_interp(None) == "tree"
+        assert resolve_interp("compiled") == "compiled"  # explicit wins
+        with pytest.raises(ValueError, match="unknown interp"):
+            resolve_interp("jit")
+
+    def test_compiled_cache_identity_and_eviction(self):
+        pb = ProgramBuilder()
+        pb.function("main").block().ret(0)
+        program = pb.build()
+        first = compiled_for(program)
+        assert compiled_for(program) is first
+        from repro.interp import compile as compile_mod
+
+        key = id(program)
+        assert key in compile_mod._cache
+        del program
+        gc.collect()
+        assert key not in compile_mod._cache
+
+    def test_compiled_program_reusable(self):
+        compiled = CompiledProgram(
+            generate_program(
+                WorkloadSpec(name="fuzz", seed=7, n_functions=4, layers=2)
+            )
+        )
+        a = compiled.run()
+        b = compiled.run()
+        assert a.return_value == b.return_value
+        assert a.blocks_executed == b.blocks_executed
+
+
+class TestFacadeIntegration:
+    def test_session_interp_knob(self):
+        from repro.api import Session
+
+        program, _spec = workload("go-like", scale=0.05)
+        events = {}
+        for interp in ("tree", "compiled"):
+            session = Session(interp=interp)
+            wpp = session.trace(program)
+            events[interp] = list(wpp.events)
+            counter = "interp.%s_runs" % ("tree" if interp == "tree" else "compiled")
+            assert session.metrics.counters[counter] == 1
+        assert events["tree"] == events["compiled"]
+
+    def test_cli_interp_flag(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+        from repro.ir.printer import format_program
+
+        program, _spec = workload("go-like", scale=0.05)
+        ir_path = tmp_path / "prog.ir"
+        ir_path.write_text(format_program(program))
+        outputs = {}
+        for interp in ("tree", "compiled"):
+            out = tmp_path / f"{interp}.wpp"
+            rc = cli_main(
+                [
+                    "trace",
+                    str(ir_path),
+                    "-o",
+                    str(out),
+                    "--interp",
+                    interp,
+                ]
+            )
+            assert rc == 0
+            outputs[interp] = out.read_bytes()
+        capsys.readouterr()
+        assert outputs["tree"] == outputs["compiled"]
