@@ -1,0 +1,325 @@
+"""Extension bench: true multi-core read/analysis via the worker pool.
+
+Measures the two workloads ROADMAP Open item 2 demands real scaling
+on, comparing serial (``jobs=1``) execution against the persistent
+self-mapping worker pool (``jobs=2``):
+
+* **analysis** — a multi-fact frequency sweep over the hottest
+  functions (several seconds of backward propagation), LPT-balanced
+  across workers;
+* **query** — repeated cold batch extraction of every function
+  (engines evicted between rounds), sticky-routed across workers.
+
+Both are checked exactly identical to serial (entries, diagnostic
+``total_queries`` accounting, trace tuples -- everything), and the
+compact wire discipline is verified twice: parent-side (every payload
+smaller than pickling the decoded objects it replaces) and through the
+``pool.result_bytes`` histogram the pool itself records.
+
+The ``jobs=2 >= 1.3x jobs=1`` gate only makes sense with two real
+CPUs; :func:`repro.bench.workbench.cpu_guard` skips it (recording the
+skip in the emitted JSON) on smaller machines.
+
+Results land in ``BENCH_parallel.json`` (schema
+``repro.bench_parallel/1``).  Runs two ways::
+
+    pytest benchmarks/bench_parallel.py            # bench suite
+    python benchmarks/bench_parallel.py --smoke    # CI smoke (no gate)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.facts import ExpressionAvailable, LoadAvailable, VarHasDefinition
+from repro.analysis.frequency import fact_frequencies_many
+from repro.bench.workbench import (
+    bench_scale,
+    build_all_artifacts,
+    build_artifacts,
+    cpu_guard,
+)
+from repro.compact.qserve import QueryEngine
+from repro.obs import MetricsRegistry
+from repro.parallel import WorkerPool, wire
+
+BENCH_SCHEMA = "repro.bench_parallel/1"
+MIN_SPEEDUP = 1.3
+
+#: Facts for the analysis sweep: several independent passes over the
+#: same hot traces, so even a workload dominated by one function still
+#: exposes task-level parallelism.
+ANALYSIS_FACTS = (
+    VarHasDefinition("__bench_never_defined__"),
+    LoadAvailable(0x1000),
+    ExpressionAvailable(("a", "b")),
+    VarHasDefinition("i"),
+)
+
+
+def _canon_report(report):
+    return (
+        report.fact,
+        report.total_queries,
+        {
+            bid: (e.executions, e.holds, e.fails, e.unresolved, e.queries_issued)
+            for bid, e in report.entries.items()
+        },
+    )
+
+
+def _analysis_tasks(art, engine):
+    prog = art.program
+    tasks = []
+    for name in art.traced_function_names():
+        func = prog.function(name)
+        for trace in engine.traces(name):
+            for fact in ANALYSIS_FACTS:
+                tasks.append((func, trace, fact))
+    return tasks
+
+
+def _bench_analysis(art, pool):
+    engine = QueryEngine(art.twpp_path)
+    try:
+        tasks = _analysis_tasks(art, engine)
+    finally:
+        engine.close()
+
+    t0 = time.perf_counter()
+    serial = fact_frequencies_many(tasks)
+    jobs1_ms = (time.perf_counter() - t0) * 1000.0
+
+    t0 = time.perf_counter()
+    pooled = fact_frequencies_many(tasks, pool=pool, program=art.program)
+    jobs2_ms = (time.perf_counter() - t0) * 1000.0
+
+    identical = [_canon_report(r) for r in serial] == [
+        _canon_report(r) for r in pooled
+    ]
+    return {
+        "tasks": len(tasks),
+        "facts": len(ANALYSIS_FACTS),
+        "jobs1_ms": round(jobs1_ms, 1),
+        "jobs2_ms": round(jobs2_ms, 1),
+        "speedup": round(jobs1_ms / jobs2_ms, 2) if jobs2_ms else None,
+        "identical_to_serial": identical,
+    }
+
+
+def _bench_query(arts, pool, rounds):
+    """Cold batch extraction across every workload corpus per round."""
+    corpus = [
+        (str(art.twpp_path), art.traced_function_names()) for art in arts
+    ]
+
+    references = {}
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        for path, names in corpus:
+            with QueryEngine(path) as engine:  # fresh = cold every round
+                out = engine.traces_many(names, threads=1)
+            references.setdefault(path, out)
+    jobs1_ms = (time.perf_counter() - t0) * 1000.0
+
+    identical = True
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        for path, _names in corpus:
+            pool.evict(path)  # cold workers every round
+        for path, names in corpus:
+            decoded = pool.traces_many(path, names)
+            identical = identical and decoded == references[path]
+    jobs2_ms = (time.perf_counter() - t0) * 1000.0
+
+    # Wire-size accounting against what pickling the decoded traces
+    # (the old fan-out's payload) would have shipped.  Re-encoding is
+    # deterministic, so these are the exact worker payload sizes.
+    payload_bytes = []
+    pickled_bytes = []
+    for path, names in corpus:
+        for name in names:
+            payload_bytes.append(len(wire.encode_traces(references[path][name])))
+            pickled_bytes.append(
+                len(
+                    pickle.dumps(
+                        references[path][name],
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                )
+            )
+    return {
+        "corpora": len(corpus),
+        "functions": sum(len(names) for _path, names in corpus),
+        "rounds": rounds,
+        "jobs1_ms": round(jobs1_ms, 1),
+        "jobs2_ms": round(jobs2_ms, 1),
+        "speedup": round(jobs1_ms / jobs2_ms, 2) if jobs2_ms else None,
+        "identical_to_serial": identical,
+    }, {
+        "max_payload_bytes": max(payload_bytes),
+        "sum_payload_bytes": sum(payload_bytes),
+        "max_pickled_bytes": max(pickled_bytes),
+        "sum_pickled_bytes": sum(pickled_bytes),
+        "compaction_vs_pickle": round(
+            sum(pickled_bytes) / max(1, sum(payload_bytes)), 1
+        ),
+    }
+
+
+def run_bench(scale=1.0, smoke=False, out_dir=None, rounds=None):
+    """The jobs 1-vs-2 sweep; returns the JSON document."""
+    if smoke:
+        arts = [
+            build_artifacts(
+                "perl-like",
+                scale=min(scale, 0.25),
+                out_dir=out_dir,
+                with_sequitur=False,
+            )
+        ]
+    else:
+        # Analysis stresses one deep workload; the query leg batches
+        # cold extraction over every corpus so per-dispatch overhead
+        # is amortized across real decode work.
+        arts = build_all_artifacts(
+            scale=scale, out_dir=out_dir, with_sequitur=False
+        )
+    art = next(a for a in arts if a.name == "perl-like")
+    if rounds is None:
+        rounds = 3 if smoke else 10
+    guard = cpu_guard(2)
+    metrics = MetricsRegistry()
+
+    with WorkerPool(2, metrics=metrics) as pool:
+        analysis = _bench_analysis(art, pool)
+        query, wire_doc = _bench_query(arts, pool, rounds)
+        inline = pool.inline
+        pool_doc = metrics.to_dict()
+
+    hist = pool_doc.get("histograms", {}).get("pool.result_bytes")
+    return {
+        "schema": BENCH_SCHEMA,
+        "unix_time": round(time.time(), 3),
+        "smoke": smoke,
+        "workload": art.name,
+        "query_workloads": [a.name for a in arts],
+        "scale": art.spec.scale,
+        "events": sum(len(a.wpp) for a in arts),
+        "functions": len(art.partitioned.func_names),
+        "cpus": os.cpu_count(),
+        "cpu_guard": guard,
+        "inline_fallback": inline,
+        "analysis": analysis,
+        "query": query,
+        "wire": wire_doc,
+        "result_bytes": hist,
+        "pool_counters": {
+            k: v
+            for k, v in pool_doc.get("counters", {}).items()
+            if k.startswith("pool.")
+        },
+        "gate": {
+            "min_speedup": MIN_SPEEDUP,
+            "enforced": guard is None and not smoke,
+            "skipped": guard,
+        },
+    }
+
+
+def check_doc(doc):
+    """Every assertion the bench/CI gate makes; returns error strings."""
+    errors = []
+    if not doc["analysis"]["identical_to_serial"]:
+        errors.append("pooled analysis diverged from serial")
+    if not doc["query"]["identical_to_serial"]:
+        errors.append("pooled query batch diverged from serial")
+    hist = doc["result_bytes"]
+    if not hist or not hist["count"]:
+        errors.append("pool.result_bytes histogram is empty")
+    elif hist["max"] >= doc["wire"]["sum_pickled_bytes"]:
+        # Even a whole-worker grouped payload must undercut pickling
+        # the decoded traces it replaces.
+        errors.append(
+            "compact wire results not smaller than pickled decoded traces: "
+            f"{hist['max']} >= {doc['wire']['sum_pickled_bytes']}"
+        )
+    if doc["wire"]["sum_payload_bytes"] >= doc["wire"]["sum_pickled_bytes"]:
+        errors.append("wire bytes exceed pickled decoded-trace bytes")
+    if doc["gate"]["enforced"]:
+        for workload in ("analysis", "query"):
+            speedup = doc[workload]["speedup"]
+            if speedup is None or speedup < doc["gate"]["min_speedup"]:
+                errors.append(
+                    f"{workload} jobs=2 speedup {speedup} below "
+                    f"{doc['gate']['min_speedup']}x"
+                )
+    return errors
+
+
+def write_doc(doc, out_path):
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    return out_path
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point (bench suite)
+
+
+def test_parallel_read_analysis_scaling(results_dir, tmp_path):
+    """jobs=2 matches serial exactly; beats it >= 1.3x given >= 2 CPUs."""
+    doc = run_bench(scale=max(1.0, bench_scale()), out_dir=tmp_path)
+    out = write_doc(doc, Path(results_dir) / "BENCH_parallel.json")
+    print(f"\nwrote {out}")
+    print(
+        f"analysis x{doc['analysis']['speedup']}, "
+        f"query x{doc['query']['speedup']} "
+        f"(gate {'on' if doc['gate']['enforced'] else 'skipped'})"
+    )
+    errors = check_doc(doc)
+    assert not errors, errors
+
+
+# ---------------------------------------------------------------------------
+# standalone entry point (CI gate)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="jobs 1-vs-2 scaling for the pooled read/analysis path"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="small workload, identity checks only")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale (default: REPRO_BENCH_SCALE)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default results/BENCH_parallel.json)")
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else max(1.0, bench_scale())
+    doc = run_bench(scale=scale, smoke=args.smoke)
+    default_out = (
+        Path(__file__).resolve().parent.parent
+        / "results"
+        / "BENCH_parallel.json"
+    )
+    out = write_doc(doc, args.out or default_out)
+    print(json.dumps(doc, indent=2))
+    print(f"wrote {out}", file=sys.stderr)
+
+    errors = check_doc(doc)
+    for error in errors:
+        print(f"FAIL: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -127,6 +127,8 @@ def fact_frequencies_many(
     threads: Optional[int] = None,
     jobs: Optional[int] = None,
     metrics: Optional[MetricsRegistry] = None,
+    pool=None,
+    program=None,
 ) -> List[FrequencyReport]:
     """Batch :func:`fact_frequencies` over many (function, trace, fact)
     tasks, preserving input order.
@@ -146,9 +148,24 @@ def fact_frequencies_many(
       :class:`~repro.analysis.facts.DefinitionFrom` need the thread
       path).
 
-    ``jobs`` wins when both are given.
+    ``jobs`` wins when both are given.  Passing a persistent
+    :class:`~repro.parallel.pool.WorkerPool` as ``pool`` (with the
+    owning ``program``) wins over both: items ship as (program key,
+    function name, fact spec, varint-compacted trace) references and
+    reports return compactly encoded -- no decoded object ever crosses
+    the pipe.  Batches the pool cannot express (identity-based facts,
+    foreign functions) silently take the ``jobs``/``threads`` path.
     """
     items = [tuple(task) for task in tasks]
+
+    if pool is not None and program is not None and len(items) > 1:
+        from .parallel import analyze_tasks_pooled
+
+        reports = analyze_tasks_pooled(
+            items, pool, program, metrics=metrics
+        )
+        if reports is not None:
+            return reports
 
     if jobs is not None and len(items) > 1:
         from .parallel import analyze_tasks_parallel, resolve_jobs

@@ -148,6 +148,7 @@ def path_profile(partitioned: PartitionedWpp) -> PathProfile:
 def path_profile_compacted(
     source: Union["PathLike", "object"],
     threads: Optional[int] = None,
+    pool=None,
 ) -> PathProfile:
     """Recover the path profile straight from a ``.twpp`` file.
 
@@ -159,6 +160,12 @@ def path_profile_compacted(
     pool size) allows -- decomposed into acyclic subpaths, and merged.
     Produces exactly the same profile as :func:`path_profile` over the
     partitioned form.
+
+    With a :class:`~repro.parallel.pool.WorkerPool` as ``pool``, the
+    per-function decomposition runs in worker processes instead: each
+    item ships only (path, name, varint-encoded pair weights) and the
+    subpath tallies come back compactly encoded, merged in the same
+    deterministic function order as the serial loop.
     """
     from ..compact.qserve import QueryEngine
 
@@ -173,6 +180,11 @@ def path_profile_compacted(
         for func_idx, pair_id in zip(dcg.node_func, dcg.node_trace):
             weights = per_func.setdefault(func_idx, {})
             weights[pair_id] = weights.get(pair_id, 0) + 1
+
+        if pool is not None:
+            profile = _decompose_pooled(engine, per_func, pool)
+            if profile is not None:
+                return profile
 
         def decompose(item: Tuple[int, Dict[int, int]]) -> Dict:
             func_idx, weights = item
@@ -202,3 +214,26 @@ def path_profile_compacted(
     finally:
         if own:
             engine.close()
+
+
+def _decompose_pooled(engine, per_func: Dict[int, Dict[int, int]], pool):
+    """Fan per-function subpath decomposition across the worker pool;
+    ``None`` means "fall back to the in-process path"."""
+    from ..parallel import WorkerCrashed, wire
+
+    items = []
+    names = []
+    for func_idx, weights in sorted(per_func.items()):
+        name = engine.name_of_original_index(func_idx)
+        names.append(name)
+        items.append(("hotpaths", engine.path, name, wire.encode_pairs(weights)))
+    try:
+        payloads = pool.run(items)
+    except WorkerCrashed:
+        return None
+    profile = PathProfile()
+    for name, payload in zip(names, payloads):
+        for path, weight in wire.decode_path_counts(payload).items():
+            key = (name, path)
+            profile.counts[key] = profile.counts.get(key, 0) + weight
+    return profile

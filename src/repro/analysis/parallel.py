@@ -35,6 +35,7 @@ from ..compact.parallel import DEFAULT_CHUNKS_PER_JOB, plan_shards, resolve_jobs
 
 __all__ = [
     "analyze_tasks_parallel",
+    "analyze_tasks_pooled",
     "plan_shards",
     "resolve_jobs",
 ]
@@ -106,3 +107,87 @@ def analyze_tasks_parallel(
     if missing:  # pragma: no cover - defensive; plan covers every index
         raise RuntimeError(f"shard plan dropped task indices {missing}")
     return results
+
+
+def analyze_tasks_pooled(
+    tasks: Sequence[Tuple],
+    pool,
+    program,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Optional[List[object]]:
+    """Run frequency tasks on a persistent :class:`~repro.parallel.pool.WorkerPool`.
+
+    Unlike :func:`analyze_tasks_parallel`, nothing decoded is pickled:
+    each item carries only (program key, function name, fact spec, a
+    varint-compacted trace, optional block subset), and the report
+    comes back as a compact varint payload.  Tasks are LPT-packed by
+    trace length across the pool's workers, so a handful of heavy
+    tasks still balances.  Returns ``None`` when the batch cannot ship
+    (a fact with no spec spelling, a function not owned by ``program``,
+    or an unrecoverable worker crash) -- callers fall back to the
+    serial/executor paths, which produce identical reports.
+    """
+    from ..ir.printer import format_program
+    from ..parallel import WorkerCrashed, program_key, wire
+    from .facts import fact_to_spec
+
+    def fallback():
+        if metrics is not None:
+            metrics.inc("analysis.pool_fallback")
+        return None
+
+    specs = []
+    for task in tasks:
+        func, _trace, fact = task[:3]
+        spec = fact_to_spec(fact)
+        if spec is None or program.functions.get(func.name) is not func:
+            return fallback()
+        specs.append(spec)
+
+    text = format_program(program)
+    key = program_key(text)
+    try:
+        pool.register_program(key, text)
+    except Exception:
+        # Textual IR doesn't round-trip (hand-built unvalidated
+        # program): the serial path handles it.
+        return fallback()
+
+    items = []
+    for task, spec in zip(tasks, specs):
+        func, trace = task[0], task[1]
+        blocks = (
+            tuple(task[3])
+            if len(task) > 3 and task[3] is not None
+            else None
+        )
+        items.append(
+            (
+                "freq",
+                key,
+                func.name,
+                spec,
+                wire.encode_traces([tuple(trace)]),
+                blocks,
+            )
+        )
+
+    # Freq items carry their trace, so worker warm state doesn't matter
+    # -- balance by cost instead of routing sticky.
+    shards = plan_shards([_task_cost(t) for t in tasks], pool.workers)
+    workers = [0] * len(tasks)
+    for worker_id, shard in enumerate(shards):
+        for task_idx in shard:
+            workers[task_idx] = worker_id
+
+    if metrics is not None:
+        metrics.inc("analysis.pool_runs")
+        metrics.inc("analysis.tasks", len(tasks))
+    try:
+        payloads = pool.run(items, workers=workers)
+    except WorkerCrashed:
+        return fallback()
+    return [
+        wire.decode_reports(payload, fact=task[2])[0]
+        for task, payload in zip(tasks, payloads)
+    ]

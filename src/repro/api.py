@@ -120,15 +120,19 @@ class Session:
         self.interp = interp
         self._engines: Dict[str, QueryEngine] = {}
         self._engines_lock = threading.Lock()
+        self._pool = None
 
     # ---- lifecycle ----------------------------------------------------
 
     def close(self) -> None:
-        """Close every query engine the session opened."""
+        """Close every query engine and worker the session opened."""
         with self._engines_lock:
             engines, self._engines = list(self._engines.values()), {}
+            pool, self._pool = self._pool, None
         for engine in engines:
             engine.close()
+        if pool is not None:
+            pool.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -250,6 +254,33 @@ class Session:
                 engine = winner
         return engine
 
+    def pool(self):
+        """The session's shared worker pool, or ``None`` when the
+        session's ``jobs`` resolve to a single worker.
+
+        Created lazily on first use (``jobs`` workers, the session's
+        ``cache_bytes`` split across them, metrics folded into the
+        session registry) and kept for the session's lifetime, so
+        every read/analysis verb shares the same warm worker caches.
+        """
+        from .compact.parallel import resolve_jobs
+
+        if resolve_jobs(self.jobs) <= 1:
+            return None
+        pool = self._pool
+        if pool is None:
+            with self._engines_lock:
+                if self._pool is None:
+                    from .parallel import WorkerPool
+
+                    self._pool = WorkerPool(
+                        resolve_jobs(self.jobs),
+                        cache_bytes=self.cache_bytes,
+                        metrics=self.metrics,
+                    )
+                pool = self._pool
+        return pool
+
     def evict(self, twpp: PathLike) -> bool:
         """Release one path's warm engine (its cache and mmap) without
         closing the whole session.
@@ -264,6 +295,11 @@ class Session:
         key = os.fspath(twpp)
         with self._engines_lock:
             engine = self._engines.pop(key, None)
+            pool = self._pool
+        if pool is not None:
+            # Workers keep their own warm engines for the path; a
+            # store-level eviction must reach them too.
+            pool.evict(key)
         if engine is None:
             return False
         engine.close()
@@ -357,8 +393,23 @@ class Session:
         with self.metrics.timer("query"):
             magic = _sniff_magic(twpp)
             if magic == b"TWPP":
+                pool = self.pool()
+                if pool is not None:
+                    result = self._query_many_pooled(twpp, names, pool)
+                    if result is not None:
+                        return result
                 return self.engine(twpp).traces_many(names)
         return {name: self._query_one(twpp, name) for name in names}
+
+    def _query_many_pooled(self, twpp: TwppSource, names: List[str], pool):
+        """Batch traces through the worker pool (compact wire results);
+        ``None`` means "fall back to the in-process engine"."""
+        from .parallel import WorkerCrashed
+
+        try:
+            return pool.traces_many(os.fspath(twpp), names)
+        except WorkerCrashed:
+            return None
 
     def stats(
         self, wpp: WppSource, jobs: Optional[int] = None
@@ -387,8 +438,14 @@ class Session:
         worker -- across a process pool.  Returns an ordered
         ``{name: [FrequencyReport, ...]}`` dict, one report per path
         trace, identical for every fan-out setting.
+
+        Sessions whose ``jobs`` resolve to >1 route ``.twpp`` paths to
+        the persistent worker pool instead: each worker pulls a
+        function's traces from its *own* mmap and returns compact
+        encoded reports, so no decoded trace ever crosses the pipe.
+        Reports are identical either way (the wire format is exact).
         """
-        from .analysis.facts import parse_fact
+        from .analysis.facts import fact_to_spec, parse_fact
         from .analysis.frequency import fact_frequencies_many
 
         if isinstance(fact, str):
@@ -396,6 +453,15 @@ class Session:
         prog = self._load_program(program)
         names = list(functions) if functions is not None else None
         with self.metrics.timer("analyze"):
+            if not isinstance(twpp, CompactedWpp):
+                spec = fact_to_spec(fact)
+                pool = self.pool()
+                if pool is not None and spec is not None:
+                    out = self._analyze_pooled(
+                        twpp, program, prog, fact, spec, names
+                    )
+                    if out is not None:
+                        return out
             if isinstance(twpp, CompactedWpp):
                 if names is None:
                     names = [fc.name for fc in twpp.functions]
@@ -423,6 +489,51 @@ class Session:
         out: Dict[str, list] = {name: [] for name in names}
         for name, report in zip(owners, reports):
             out[name].append(report)
+        return out
+
+    def _analyze_pooled(
+        self,
+        twpp: TwppSource,
+        program: Union[Program, PathLike],
+        prog: Program,
+        fact,
+        spec: str,
+        names: Optional[List[str]],
+    ):
+        """Fan ``analyze`` across the worker pool, one item per
+        function; ``None`` means "fall back to the serial path"."""
+        from .parallel import WorkerCrashed, program_key, wire
+
+        pool = self.pool()
+        path = os.fspath(twpp)
+        if names is None:
+            names = self.engine(twpp).function_names()
+        if isinstance(program, Program):
+            from .ir.printer import format_program
+
+            text = format_program(prog)
+        else:
+            with open(program) as fh:
+                text = fh.read()
+        key = program_key(text)
+        try:
+            pool.register_program(key, text)
+        except Exception:
+            # The program's textual IR doesn't round-trip (e.g. it was
+            # hand-built and skips validation): analyze it serially.
+            return None
+        items = [("analyze", path, key, name, spec) for name in names]
+        try:
+            payloads = pool.run(items)
+        except WorkerCrashed:
+            return None
+        out: Dict[str, list] = {
+            name: wire.decode_reports(payload, fact=fact)
+            for name, payload in zip(names, payloads)
+        }
+        self.metrics.inc(
+            "analysis.session_tasks", sum(len(v) for v in out.values())
+        )
         return out
 
     # ---- persistence --------------------------------------------------

@@ -111,3 +111,24 @@ def bench_scale() -> float:
     larger trace sizes when more time is available.
     """
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def cpu_guard(required: int = 2) -> Optional[dict]:
+    """Skip-record for parallel-speedup gates on small machines.
+
+    Benches and CI gates that assert ``jobs=2`` beats ``jobs=1`` are
+    meaningless below ``required`` CPUs -- they must *skip*, not fail.
+    Returns ``None`` when enough CPUs are available; otherwise a
+    JSON-ready record (``{"skipped": True, "reason": ..., "cpus": ...,
+    "required_cpus": ...}``) the bench embeds in its emitted document
+    so the skip is visible in artifacts, never silent.
+    """
+    cpus = os.cpu_count() or 1
+    if cpus >= required:
+        return None
+    return {
+        "skipped": True,
+        "reason": f"parallel speedup gate needs >= {required} CPUs, have {cpus}",
+        "cpus": cpus,
+        "required_cpus": required,
+    }

@@ -211,11 +211,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"{path}: unknown format", file=sys.stderr)
         return 2
 
-    # -j is the generic fan-out spelling; --threads the historical one.
+    # -j fans TWPP queries across the worker-process pool; for the
+    # scan-based formats (no pool path) it still aliases --threads.
     threads = args.threads
-    if not threads and args.jobs != 1:
+    if not threads and args.jobs != 1 and magic != b"TWPP":
         threads = args.jobs
-    with Session(cache_bytes=args.cache_bytes, threads=threads) as s:
+    with Session(
+        cache_bytes=args.cache_bytes, threads=threads, jobs=args.jobs
+    ) as s:
         results = s.query(path, names=args.functions)
         metrics = s.metrics
     for name, traces in results.items():

@@ -443,6 +443,21 @@ class QueryEngine:
             self._cache.put(key, traces, _traces_cost(traces))
         return list(traces)
 
+    def put_traces(self, name: str, traces: List[PathTrace]) -> List[PathTrace]:
+        """Insert pre-decoded traces for ``name`` under the budget.
+
+        The parallel read path decodes sections in worker processes;
+        the parent calls this so its own warm cache still fills (LRU
+        accounting identical to a local :meth:`traces` decode).  The
+        name must exist in the header -- unknown functions raise
+        ``KeyError`` rather than poison the cache.  Returns the list a
+        :meth:`traces` call would have returned.
+        """
+        self._entry(name)
+        traces = [tuple(t) for t in traces]
+        self._cache.put(("traces", name), traces, _traces_cost(traces))
+        return list(traces)
+
     # ---- batch queries ------------------------------------------------
 
     def extract_many(

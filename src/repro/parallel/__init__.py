@@ -1,0 +1,11 @@
+"""True multi-core substrate for the read/analysis path.
+
+:mod:`repro.parallel.pool` runs persistent self-mapping worker
+processes; :mod:`repro.parallel.wire` is the compact varint wire
+format their results travel in.  See ``docs/ANALYSIS.md`` ("Parallel
+read path") for the architecture.
+"""
+
+from .pool import WorkerCrashed, WorkerPool, program_key
+
+__all__ = ["WorkerPool", "WorkerCrashed", "program_key"]

@@ -1,0 +1,207 @@
+"""Compact wire format for pool results.
+
+Worker processes must not ship decoded traces or report objects
+through pickle -- that is exactly the overhead that made the old
+process fan-outs serial-equivalent.  Everything crossing the pipe is
+a flat varint stream built with the bulk codecs from
+:mod:`repro.trace.encoding`, laid out so the receiver can bulk-decode
+with one or two :func:`~repro.trace.encoding.decode_uvarints` calls:
+
+* **traces** -- ``[n, len_1..len_n, blocks...]``: the lengths prefix
+  first, then every trace's block ids flattened, so the whole payload
+  decodes with two bulk calls regardless of trace count.
+* **reports** -- ``[n, (total_queries, n_entries)_1..n, entries...]``
+  where each entry is six uvarints ``(block_id, executions, holds,
+  fails, unresolved, queries_issued)``.  Entry order preserves the
+  sender's dict insertion order, so a decoded report compares equal
+  (``==``) to the serially-built original.
+* **pairs** -- ``[n, (pair_id, weight)_1..n]``: per-function DCG
+  activation weights shipped *to* hot-path workers.
+* **path counts** -- ``[n, (weight, len, blocks...)_1..n]``: acyclic
+  subpath tallies shipped *back* from hot-path workers.
+
+Every payload round-trips exactly; the codec tests pin this with
+hypothesis-style sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..trace.encoding import (
+    decode_uvarints,
+    encode_uvarints,
+    read_uvarint,
+    write_uvarint,
+)
+
+__all__ = [
+    "encode_payloads",
+    "decode_payloads",
+    "encode_traces",
+    "decode_traces",
+    "encode_reports",
+    "decode_reports",
+    "encode_pairs",
+    "decode_pairs",
+    "encode_path_counts",
+    "decode_path_counts",
+]
+
+PathTrace = Tuple[int, ...]
+
+
+# ---------------------------------------------------------------------------
+# framing
+
+
+def encode_payloads(payloads: Sequence[bytes]) -> bytes:
+    """Frame several payloads into one (for grouped work items)."""
+    head = [len(payloads)]
+    head.extend(len(p) for p in payloads)
+    return encode_uvarints(head) + b"".join(payloads)
+
+
+def decode_payloads(data: bytes) -> List[bytes]:
+    n, offset = read_uvarint(data, 0)
+    lengths, offset = decode_uvarints(data, offset, n)
+    out: List[bytes] = []
+    for length in lengths:
+        out.append(bytes(data[offset : offset + length]))
+        offset += length
+    return out
+
+
+# ---------------------------------------------------------------------------
+# traces
+
+
+def encode_traces(traces: Sequence[Sequence[int]]) -> bytes:
+    """Flatten a trace list into one lengths-prefixed varint stream."""
+    head: List[int] = [len(traces)]
+    head.extend(len(t) for t in traces)
+    flat: List[int] = []
+    for t in traces:
+        flat.extend(t)
+    return encode_uvarints(head) + encode_uvarints(flat)
+
+
+def decode_traces(data: bytes) -> List[PathTrace]:
+    """Inverse of :func:`encode_traces` (two bulk decodes total)."""
+    n, offset = read_uvarint(data, 0)
+    lengths, offset = decode_uvarints(data, offset, n)
+    blocks, _ = decode_uvarints(data, offset, sum(lengths))
+    out: List[PathTrace] = []
+    pos = 0
+    for length in lengths:
+        out.append(tuple(blocks[pos : pos + length]))
+        pos += length
+    return out
+
+
+# ---------------------------------------------------------------------------
+# frequency reports
+
+
+def encode_reports(reports: Sequence[object]) -> bytes:
+    """Serialize ``FrequencyReport`` objects (sans the fact, which the
+    parent already knows) into one flat varint stream."""
+    head: List[int] = [len(reports)]
+    flat: List[int] = []
+    for report in reports:
+        head.append(report.total_queries)
+        head.append(len(report.entries))
+        for entry in report.entries.values():
+            flat.append(entry.block_id)
+            flat.append(entry.executions)
+            flat.append(entry.holds)
+            flat.append(entry.fails)
+            flat.append(entry.unresolved)
+            flat.append(entry.queries_issued)
+    return encode_uvarints(head) + encode_uvarints(flat)
+
+
+def decode_reports(data: bytes, fact: object = None, facts: Sequence[object] = None) -> List[object]:
+    """Inverse of :func:`encode_reports`.
+
+    The wire payload carries no fact objects -- the parent rebinds
+    them: pass ``fact`` to stamp one fact on every report (the report
+    count is then free to vary, e.g. one report per trace of a
+    function), or ``facts`` to rebind per-report (length-checked).
+    """
+    from ..analysis.frequency import FactFrequency, FrequencyReport
+
+    n, offset = read_uvarint(data, 0)
+    if facts is None:
+        facts = [fact] * n
+    elif n != len(facts):
+        raise ValueError(
+            f"report payload has {n} reports, caller expected {len(facts)}"
+        )
+    head, offset = decode_uvarints(data, offset, 2 * n)
+    total_entries = sum(head[1::2])
+    flat, _ = decode_uvarints(data, offset, 6 * total_entries)
+    out: List[object] = []
+    pos = 0
+    for i in range(n):
+        total_queries, n_entries = head[2 * i], head[2 * i + 1]
+        entries: Dict[int, FactFrequency] = {}
+        for _ in range(n_entries):
+            block_id = flat[pos]
+            entries[block_id] = FactFrequency(
+                block_id=block_id,
+                executions=flat[pos + 1],
+                holds=flat[pos + 2],
+                fails=flat[pos + 3],
+                unresolved=flat[pos + 4],
+                queries_issued=flat[pos + 5],
+            )
+            pos += 6
+        out.append(
+            FrequencyReport(
+                fact=facts[i], entries=entries, total_queries=total_queries
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# DCG pair weights (parent -> worker) and path counts (worker -> parent)
+
+
+def encode_pairs(weights: Dict[int, int]) -> bytes:
+    """Serialize ``{pair_id: activation_weight}`` preserving order."""
+    flat: List[int] = [len(weights)]
+    for pair_id, weight in weights.items():
+        flat.append(pair_id)
+        flat.append(weight)
+    return encode_uvarints(flat)
+
+
+def decode_pairs(data: bytes) -> Dict[int, int]:
+    n, offset = read_uvarint(data, 0)
+    flat, _ = decode_uvarints(data, offset, 2 * n)
+    return {flat[2 * i]: flat[2 * i + 1] for i in range(n)}
+
+
+def encode_path_counts(counts: Dict[PathTrace, int]) -> bytes:
+    """Serialize ``{acyclic_path: count}`` for one function."""
+    buf = bytearray()
+    write_uvarint(buf, len(counts))
+    flat: List[int] = []
+    for path, weight in counts.items():
+        flat.append(weight)
+        flat.append(len(path))
+        flat.extend(path)
+    return bytes(buf) + encode_uvarints(flat)
+
+
+def decode_path_counts(data: bytes) -> Dict[PathTrace, int]:
+    n, offset = read_uvarint(data, 0)
+    out: Dict[PathTrace, int] = {}
+    for _ in range(n):
+        pair, offset = decode_uvarints(data, offset, 2)
+        weight, length = pair
+        blocks, offset = decode_uvarints(data, offset, length)
+        out[tuple(blocks)] = weight
+    return out

@@ -375,7 +375,7 @@ class TraceStore:
         if not owner:
             return fut.result(), True
         try:
-            result = engine.traces(name)
+            result = self._decode(engine, entry, name)
         except BaseException as exc:
             fut.set_exception(exc)
             raise
@@ -385,6 +385,29 @@ class TraceStore:
         finally:
             with self._lock:
                 self._inflight.pop(key, None)
+
+    def _decode(self, engine, entry: CatalogTrace, name: str):
+        """Cold decode of one function, preferring the worker pool.
+
+        When the owning session runs a pool, the section is decoded in
+        a worker process (its own mmap, compact wire result) and the
+        parent engine's cache is warmed with
+        :meth:`~repro.compact.qserve.QueryEngine.put_traces`, so the
+        store's budget accounting and warm fast path behave exactly as
+        if the engine had decoded locally.
+        """
+        pool = self._session.pool()
+        if pool is not None:
+            from ..parallel import WorkerCrashed, wire
+
+            try:
+                payload = pool.submit(("traces", entry.path, name)).result()
+            except WorkerCrashed:
+                pass
+            else:
+                self._inc("store.pool_decodes")
+                return engine.put_traces(name, wire.decode_traces(payload))
+        return engine.traces(name)
 
     # ---- helpers ------------------------------------------------------
 

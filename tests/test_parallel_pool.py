@@ -1,0 +1,442 @@
+"""The persistent worker pool: wire codecs, byte-identity vs serial,
+sticky routing, crash recovery, inline fallback, integration points.
+
+Everything the multi-core read/analysis path promises reduces to one
+invariant -- pooled results are *exactly* the serial results (traces,
+report entries, even the memo-dependent ``total_queries`` accounting)
+-- plus the transport discipline: only compact varint payloads cross
+the pipe, items stick to the worker whose cache is already warm, and a
+killed worker respawns without changing a single byte of output.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.analysis.facts import (
+    DefinitionFrom,
+    ExpressionAvailable,
+    LoadAvailable,
+    VarHasDefinition,
+    fact_to_spec,
+    parse_fact,
+)
+from repro.analysis.frequency import (
+    FactFrequency,
+    FrequencyReport,
+    fact_frequencies_many,
+)
+from repro.analysis.hotpaths import path_profile_compacted
+from repro.api import Session
+from repro.compact import compact_wpp, write_twpp
+from repro.compact.qserve import QueryEngine
+from repro.obs import MetricsRegistry
+from repro.parallel import WorkerCrashed, WorkerPool, program_key, wire
+from repro.trace import collect_wpp, partition_wpp
+from repro.workloads import figure1_program
+from repro.workloads.specs import workload
+
+
+# ---------------------------------------------------------------------------
+# fixtures
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    """(program, twpp path, serial {name: traces} reference)."""
+    program, _spec = workload("perl-like", scale=0.1)
+    part = partition_wpp(collect_wpp(program))
+    compacted, _stats = compact_wpp(part)
+    path = tmp_path_factory.mktemp("pool") / "w.twpp"
+    write_twpp(compacted, path)
+    with QueryEngine(path) as engine:
+        reference = engine.traces_many(engine.function_names(), threads=1)
+    return program, path, reference
+
+
+@pytest.fixture(scope="module")
+def pool():
+    metrics = MetricsRegistry()
+    with WorkerPool(2, metrics=metrics) as pool:
+        yield pool
+
+
+def require_processes(pool):
+    if pool.inline:
+        pytest.skip("no subprocess support in this environment")
+
+
+# ---------------------------------------------------------------------------
+# wire codecs
+
+
+class TestWireCodecs:
+    @pytest.mark.parametrize(
+        "traces",
+        [
+            [],
+            [()],
+            [(1,)],
+            [(1, 2, 3), (), (7, 7, 7, 1 << 40), tuple(range(300))],
+        ],
+    )
+    def test_traces_round_trip(self, traces):
+        assert wire.decode_traces(wire.encode_traces(traces)) == [
+            tuple(t) for t in traces
+        ]
+
+    def test_payload_framing_round_trip(self):
+        payloads = [b"", b"\x00", b"abc", bytes(range(256))]
+        assert wire.decode_payloads(wire.encode_payloads(payloads)) == payloads
+
+    def test_reports_round_trip_preserves_entry_order(self):
+        fact = VarHasDefinition("x")
+        entries = {
+            5: FactFrequency(5, 4, 3, 1, 0, 9),
+            2: FactFrequency(2, 1, 0, 1, 0, 2),
+            9: FactFrequency(9, 7, 7, 0, 0, 0),
+        }
+        reports = [
+            FrequencyReport(fact=fact, entries=entries, total_queries=11),
+            FrequencyReport(fact=fact, entries={}, total_queries=0),
+        ]
+        decoded = wire.decode_reports(wire.encode_reports(reports), fact=fact)
+        assert decoded == reports
+        assert list(decoded[0].entries) == [5, 2, 9]
+
+    def test_reports_facts_list_length_checked(self):
+        payload = wire.encode_reports(
+            [FrequencyReport(fact=None, entries={}, total_queries=0)]
+        )
+        with pytest.raises(ValueError, match="expected 2"):
+            wire.decode_reports(payload, facts=[None, None])
+
+    def test_pairs_and_path_counts_round_trip(self):
+        pairs = {3: 17, 0: 1, 12: 1 << 33}
+        assert wire.decode_pairs(wire.encode_pairs(pairs)) == pairs
+        counts = {(1, 2, 3): 5, (): 1, (9,): 2}
+        assert (
+            wire.decode_path_counts(wire.encode_path_counts(counts)) == counts
+        )
+
+    def test_traces_payload_beats_pickle(self, artifact):
+        _program, _path, reference = artifact
+        for traces in reference.values():
+            encoded = wire.encode_traces(traces)
+            pickled = pickle.dumps(traces, protocol=pickle.HIGHEST_PROTOCOL)
+            assert len(encoded) < len(pickled)
+
+
+class TestFactSpecs:
+    @pytest.mark.parametrize(
+        "fact",
+        [
+            LoadAvailable(0x1000),
+            ExpressionAvailable(("a", "b")),
+            VarHasDefinition("i"),
+        ],
+    )
+    def test_round_trip(self, fact):
+        spec = fact_to_spec(fact)
+        assert spec is not None
+        assert parse_fact(spec) == fact
+
+    def test_identity_based_fact_has_no_spec(self, diamond_program):
+        program, _n = diamond_program
+        stmt = program.function("main").blocks[4].statements[0]
+        assert fact_to_spec(DefinitionFrom("acc", (stmt,))) is None
+
+
+# ---------------------------------------------------------------------------
+# pooled query path
+
+
+class TestPooledQuery:
+    def test_traces_many_identical_to_serial(self, artifact, pool):
+        _program, path, reference = artifact
+        names = list(reference)
+        assert pool.traces_many(path, names) == reference
+        # Warm repeat, and a shuffled subset, stay identical.
+        assert pool.traces_many(path, names[::-1]) == {
+            name: reference[name] for name in names[::-1]
+        }
+
+    def test_session_query_uses_pool(self, artifact):
+        _program, path, reference = artifact
+        with Session(jobs=2) as session:
+            out = session.query(path, names=list(reference))
+            assert out == reference
+            counters = session.metrics.to_dict()["counters"]
+        assert counters.get("pool.tasks", 0) > 0
+
+    def test_unknown_function_raises_keyerror(self, artifact, pool):
+        _program, path, _reference = artifact
+        with pytest.raises(KeyError):
+            pool.submit(("traces", str(path), "no_such_function")).result()
+
+    def test_put_traces_seeds_parent_cache(self, artifact):
+        _program, path, reference = artifact
+        name = next(iter(reference))
+        with QueryEngine(path) as engine:
+            assert engine.cached_traces(name) is None
+            out = engine.put_traces(name, reference[name])
+            assert out == reference[name]
+            assert engine.cached_traces(name) == reference[name]
+            with pytest.raises(KeyError):
+                engine.put_traces("no_such_function", [])
+
+
+# ---------------------------------------------------------------------------
+# pooled analysis path
+
+
+ANALYSIS_FACTS = (
+    VarHasDefinition("i"),
+    LoadAvailable(0x1000),
+    ExpressionAvailable(("a", "b")),
+)
+
+
+def analysis_tasks(program, reference, limit=24):
+    tasks = []
+    for name, traces in reference.items():
+        func = program.function(name)
+        for trace in traces[:2]:
+            for fact in ANALYSIS_FACTS:
+                tasks.append((func, trace, fact))
+    return tasks[:limit]
+
+
+def canon(report):
+    return (
+        report.fact,
+        report.total_queries,
+        {
+            bid: (e.executions, e.holds, e.fails, e.unresolved, e.queries_issued)
+            for bid, e in report.entries.items()
+        },
+    )
+
+
+class TestPooledAnalysis:
+    def test_fact_frequencies_many_identical(self, artifact, pool):
+        program, _path, reference = artifact
+        tasks = analysis_tasks(program, reference)
+        serial = fact_frequencies_many(tasks)
+        pooled = fact_frequencies_many(tasks, pool=pool, program=program)
+        assert [canon(r) for r in pooled] == [canon(r) for r in serial]
+
+    def test_blocks_subset_identical(self, artifact, pool):
+        program, _path, reference = artifact
+        name = next(iter(reference))
+        func = program.function(name)
+        trace = reference[name][0]
+        blocks = sorted(set(trace))[:2]
+        tasks = [
+            (func, trace, VarHasDefinition("i"), blocks),
+            (func, trace, LoadAvailable(0x1000), blocks),
+        ]
+        serial = fact_frequencies_many(tasks)
+        pooled = fact_frequencies_many(tasks, pool=pool, program=program)
+        assert [canon(r) for r in pooled] == [canon(r) for r in serial]
+
+    def test_session_analyze_identical(self, artifact):
+        program, path, _reference = artifact
+        fact = VarHasDefinition("i")
+        with Session(jobs=1) as session:
+            serial = session.analyze(path, program, fact)
+        with Session(jobs=2) as session:
+            pooled = session.analyze(path, program, fact)
+            counters = session.metrics.to_dict()["counters"]
+        assert list(pooled) == list(serial)
+        for name in serial:
+            assert [canon(r) for r in pooled[name]] == [
+                canon(r) for r in serial[name]
+            ]
+        assert counters.get("pool.tasks", 0) > 0
+
+    def test_unparseable_program_falls_back_to_serial(self):
+        # figure1_program() keeps an intentionally unreachable pad
+        # block, which the textual IR round-trip rejects -- the pooled
+        # path must bow out and serial must still answer.
+        program = figure1_program()
+        part = partition_wpp(collect_wpp(program))
+        idx = part.func_names.index("main")
+        tasks = [
+            (program.function("main"), trace, fact)
+            for trace in part.traces[idx]
+            for fact in (VarHasDefinition("B"), VarHasDefinition("A"))
+        ]
+        serial = fact_frequencies_many(tasks)
+        metrics = MetricsRegistry()
+        with WorkerPool(2, metrics=metrics) as pool:
+            pooled = fact_frequencies_many(
+                tasks, pool=pool, program=program, metrics=metrics
+            )
+        assert [canon(r) for r in pooled] == [canon(r) for r in serial]
+        counters = metrics.to_dict()["counters"]
+        assert counters.get("analysis.pool_fallback", 0) >= 1
+
+    def test_identity_fact_falls_back_to_serial(self, artifact, pool):
+        program, _path, reference = artifact
+        name = next(iter(reference))
+        func = program.function(name)
+        var, stmt = next(
+            (next(iter(stmt.defs())), stmt)
+            for block in func.blocks.values()
+            for stmt in block.statements
+            if stmt.defs()
+        )
+        tasks = [
+            (func, trace, DefinitionFrom(var, (stmt,)))
+            for trace in reference[name][:2]
+        ]
+        serial = fact_frequencies_many(tasks)
+        pooled = fact_frequencies_many(tasks, pool=pool, program=program)
+        assert [canon(r) for r in pooled] == [canon(r) for r in serial]
+
+    def test_hotpaths_identical(self, artifact, pool):
+        _program, path, _reference = artifact
+        serial = path_profile_compacted(path)
+        pooled = path_profile_compacted(path, pool=pool)
+        assert pooled.counts == serial.counts
+        assert list(pooled.counts) == list(serial.counts)
+
+
+# ---------------------------------------------------------------------------
+# routing, transport accounting, recovery
+
+
+class TestRoutingAndTransport:
+    def test_sticky_routing_same_worker_across_batches(self, artifact, pool):
+        _program, path, reference = artifact
+        names = list(reference)
+        first = {
+            name: pool.route(("traces", str(path), name)) for name in names
+        }
+        pool.traces_many(path, names)
+        second = {
+            name: pool.route(("traces", str(path), name)) for name in names
+        }
+        assert first == second
+        if pool.workers > 1:
+            assert len(set(first.values())) > 1  # actually spreads load
+
+    def test_repeat_batch_hits_worker_caches(self, artifact):
+        _program, path, reference = artifact
+        names = list(reference)
+        metrics = MetricsRegistry()
+        with WorkerPool(2, metrics=metrics) as pool:
+            require_processes(pool)
+            pool.traces_many(path, names)
+            cold = [
+                s["metrics"]["counters"].get("qserve.cache.hits", 0)
+                for s in pool.worker_stats()
+            ]
+            pool.traces_many(path, names)
+            warm = [
+                s["metrics"]["counters"].get("qserve.cache.hits", 0)
+                for s in pool.worker_stats()
+            ]
+            counters = metrics.to_dict()["counters"]
+        assert all(w > c for w, c in zip(warm, cold))
+        # Second batch re-routes every name to its sticky worker.
+        assert counters["pool.sticky_hits"] >= len(names)
+
+    def test_result_bytes_bounded_by_compact_encoding(self, artifact):
+        _program, path, reference = artifact
+        names = list(reference)
+        metrics = MetricsRegistry()
+        with WorkerPool(2, metrics=metrics) as pool:
+            assert pool.traces_many(path, names) == reference
+        doc = metrics.to_dict()
+        hist = doc["histograms"]["pool.result_bytes"]
+        assert hist["count"] > 0
+        # No result payload may exceed the compact encoding of the
+        # whole batch; pickling the decoded traces would.
+        whole_batch = sum(
+            len(wire.encode_traces(reference[name])) for name in names
+        )
+        pickled = sum(
+            len(pickle.dumps(reference[name], protocol=pickle.HIGHEST_PROTOCOL))
+            for name in names
+        )
+        assert hist["max"] <= whole_batch < pickled
+        # Work items are references: a few dozen bytes per dispatch,
+        # never a pickled decoded trace.
+        items = doc["histograms"]["pool.item_bytes"]
+        assert items["max"] < 4096
+
+    def test_crash_recovery_mid_batch(self, artifact):
+        _program, path, reference = artifact
+        names = list(reference)
+        metrics = MetricsRegistry()
+        with WorkerPool(2, metrics=metrics) as pool:
+            require_processes(pool)
+            pool.traces_many(path, names)  # warm both workers
+            before = set(pool.worker_pids())
+            pool.inject_crash(0)
+            out = pool.traces_many(path, names)
+            after = set(pool.worker_pids())
+            counters = metrics.to_dict()["counters"]
+        assert out == reference
+        assert counters.get("pool.respawns", 0) >= 1
+        assert after != before  # a fresh pid took the dead slot
+
+    def test_repeated_crashes_surface_worker_crashed(self, artifact):
+        _program, path, reference = artifact
+        name = next(iter(reference))
+        metrics = MetricsRegistry()
+        with WorkerPool(1, metrics=metrics, max_retries=0) as pool:
+            require_processes(pool)
+            pool.inject_crash(0)
+            with pytest.raises(WorkerCrashed):
+                pool.submit(("traces", str(path), name)).result()
+
+    def test_inline_fallback_when_processes_unavailable(
+        self, artifact, monkeypatch
+    ):
+        _program, path, reference = artifact
+
+        class NoProcesses:
+            @staticmethod
+            def get_context():
+                raise OSError("no fork for you")
+
+        monkeypatch.setattr(
+            "repro.parallel.pool.multiprocessing", NoProcesses
+        )
+        metrics = MetricsRegistry()
+        with WorkerPool(2, metrics=metrics) as pool:
+            assert pool.inline
+            assert pool.workers == 1
+            assert pool.traces_many(path, list(reference)) == reference
+            counters = metrics.to_dict()["counters"]
+        assert counters["pool.fallback"] == 1
+
+    def test_register_program_rejects_invalid_text(self, pool):
+        with pytest.raises(Exception):
+            pool.register_program(program_key("bogus"), "not a program")
+
+
+# ---------------------------------------------------------------------------
+# store integration
+
+
+def test_store_decodes_through_pool(artifact, tmp_path):
+    from repro.ir.printer import format_program
+    from repro.store import QueryRequest, TraceStore
+
+    program, path, reference = artifact
+    (tmp_path / "w.twpp").write_bytes(path.read_bytes())
+    (tmp_path / "w.ir").write_text(format_program(program) + "\n")
+
+    with Session(jobs=2) as session:
+        with TraceStore(tmp_path, session=session) as store:
+            name = next(iter(reference))
+            doc = store.query(QueryRequest(trace="w", functions=(name,)))
+            assert doc["functions"][name] == reference[name]
+            counters = store.metrics.to_dict()["counters"]
+        if session.pool() is not None and not session.pool().inline:
+            assert counters.get("store.pool_decodes", 0) >= 1
