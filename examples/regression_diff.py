@@ -2,11 +2,14 @@
 """Comparing stored runs: behavioural regression analysis.
 
 The point of compacting WPPs is that whole executions become cheap to
-*keep*.  Once kept, two runs can be compared at path granularity: which
-functions took new paths, which stopped being called, where call counts
-shifted.  This example records two runs of the same program on
-different inputs and diffs them -- the workflow a performance engineer
-would use to pin down "what changed since the last good run".
+*keep*.  Once kept, two runs can be compared at path granularity:
+which functions took new paths, which stopped being called, where call
+counts shifted.  Diffing is a first-class CLI verb now, so this
+example stays a thin wrapper: it records two runs of the same program
+on different inputs, then hands comparison to ``repro-wpp diff`` --
+and to the multi-run corpus (``repro-wpp corpus ingest`` + ``corpus
+diff``) for the fleet-of-runs case, where identical paths are stored
+once and the diff runs straight off the shared blobs.
 
 Run:  python examples/regression_diff.py
 """
@@ -16,7 +19,8 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro.compact import compact_wpp, diff_twpp_files, write_twpp
+from repro.cli import main as repro_wpp
+from repro.compact import compact_wpp, write_twpp
 from repro.trace import collect_wpp, partition_wpp
 from repro.workloads import figure9_program
 
@@ -34,35 +38,24 @@ def record_run(program, args, path: Path) -> None:
 def main() -> None:
     program = figure9_program()
     tmp = Path(tempfile.mkdtemp(prefix="twpp-diff-"))
+    good, suspect = tmp / "good.twpp", tmp / "suspect.twpp"
 
     # Run A: the paper's schedule (starts at iteration 0).
     # Run B: starts at iteration 30 -- fewer p1 iterations, so the loop
     # visits the same paths with different frequencies and the final
     # partial path differs.
-    record_run(program, [0], tmp / "good.twpp")
-    record_run(program, [30], tmp / "suspect.twpp")
+    record_run(program, [0], good)
+    record_run(program, [30], suspect)
 
-    print("\n=== diff good.twpp suspect.twpp ===")
-    delta = diff_twpp_files(tmp / "good.twpp", tmp / "suspect.twpp")
-    print(delta.render())
+    print("\n=== repro-wpp diff good.twpp suspect.twpp ===")
+    rc = repro_wpp(["diff", str(good), str(suspect)])
+    print(f"(exit code {rc}: 1 means behaviour changed)")
 
-    if delta.identical:
-        print("\nNo behavioural change.")
-        return
-    print("\nPer-function detail:")
-    for fd in delta.changed_functions():
-        print(f"  {fd.name}: traces {fd.traces_a} -> {fd.traces_b}, "
-              f"calls {fd.calls_a} -> {fd.calls_b}")
-        for trace in sorted(fd.only_in_b):
-            print(f"    new path : {'.'.join(map(str, trace[:20]))}"
-                  f"{'...' if len(trace) > 20 else ''}")
-        for trace in sorted(fd.only_in_a):
-            print(f"    vanished : {'.'.join(map(str, trace[:20]))}"
-                  f"{'...' if len(trace) > 20 else ''}")
-    print(
-        "\n(The CLI equivalent: `python -m repro diff good.twpp "
-        "suspect.twpp`, exit code 1 on any difference.)"
-    )
+    print("\n=== repro-wpp corpus ingest + corpus diff ===")
+    corpus = tmp / "corpus"
+    repro_wpp(["corpus", "ingest", str(corpus), str(good), str(suspect)])
+    rc = repro_wpp(["corpus", "diff", str(corpus), "good", "suspect"])
+    print(f"(exit code {rc}, served from the shared blob store)")
 
 
 if __name__ == "__main__":

@@ -151,6 +151,7 @@ class Session:
         stream: bool = False,
         output: Optional[PathLike] = None,
         jobs: Optional[int] = None,
+        verify: bool = False,
     ) -> Union[WppTrace, StreamResult]:
         """Run a program (object or textual-IR path), collect its WPP.
 
@@ -158,7 +159,9 @@ class Session:
         (the overlapped pipeline of :mod:`repro.compact.stream`) and
         written straight to ``output`` as a ``.twpp`` -- no raw WPP is
         ever materialized.  Returns a :class:`StreamResult` instead of
-        a :class:`~repro.trace.wpp.WppTrace` in that mode.
+        a :class:`~repro.trace.wpp.WppTrace` in that mode.  ``verify``
+        (stream mode only) read-checks the written file before
+        returning.
         """
         if stream:
             if output is None:
@@ -170,6 +173,7 @@ class Session:
                 inputs=inputs,
                 max_events=max_events,
                 jobs=jobs,
+                verify=verify,
             )
         with self.metrics.timer("trace"):
             wpp = collect_wpp(
@@ -191,13 +195,18 @@ class Session:
         inputs: Tuple[int, ...] = (),
         max_events: Optional[int] = None,
         jobs: Optional[int] = None,
+        verify: bool = False,
     ) -> StreamResult:
         """Trace + compact + write a ``.twpp`` in one overlapped pass.
 
         Byte-identical to ``session.compact(session.trace(p)).save(path)``
         but compaction consumers run concurrently with execution and the
         file is written incrementally.  ``jobs`` sets the consumer
-        thread count (defaults to the session's).
+        thread count (defaults to the session's).  ``verify=True``
+        reads the finished file back and checks every function's
+        traces against the in-memory compaction -- through the
+        session's worker pool when its ``jobs`` resolve to more than
+        one worker, serially otherwise.
         """
         return _stream_compact(
             self._load_program(program),
@@ -208,6 +217,8 @@ class Session:
             max_events=max_events,
             metrics=self.metrics,
             interp=self.interp,
+            verify=verify,
+            pool=self.pool() if verify else None,
         )
 
     def partition(self, wpp: WppSource) -> PartitionedWpp:
@@ -332,6 +343,41 @@ class Session:
             catalog_path=catalog_path,
             jobs=jobs,
         )
+
+    def corpus(
+        self, root: PathLike, cache_bytes: Optional[int] = None
+    ):
+        """Open (or create) a content-addressed multi-run corpus at
+        ``root``, backed by this session's warm engines and pool.
+
+        Runs ingested through the corpus are scanned with the
+        session's cached :class:`QueryEngine` per file (parallel scans
+        go through :meth:`pool`); cross-run queries are served from
+        the corpus's shared blobs.  ``cache_bytes`` budgets the
+        corpus's expanded-pair cache (default: the session's engine
+        budget).  See :class:`repro.corpus.TraceCorpus`.
+        """
+        from .corpus import TraceCorpus
+
+        return TraceCorpus(root, session=self, cache_bytes=cache_bytes)
+
+    def ingest_run(
+        self,
+        root: PathLike,
+        twpp: PathLike,
+        run: Optional[str] = None,
+    ):
+        """Ingest one ``.twpp`` into the corpus at ``root`` and return
+        its :class:`~repro.corpus.IngestResult`.
+
+        Convenience for one-shot ingestion; hold :meth:`corpus` open
+        yourself to ingest batches or query across runs afterwards.
+        """
+        corpus = self.corpus(root)
+        try:
+            return corpus.ingest(twpp, run=run)
+        finally:
+            corpus.close()
 
     def query(
         self,
@@ -600,11 +646,22 @@ def stream_compact(
     jobs: int = 1,
     metrics: Optional[MetricsRegistry] = None,
     interp: Optional[str] = None,
+    verify: bool = False,
 ) -> StreamResult:
-    """Run a program and stream its compacted ``.twpp`` straight to disk."""
-    return Session(jobs=jobs, metrics=metrics, interp=interp).stream_compact(
-        program, path, args=args, inputs=inputs, max_events=max_events
-    )
+    """Run a program and stream its compacted ``.twpp`` straight to disk.
+
+    ``verify=True`` read-checks the written file before returning (see
+    :meth:`Session.stream_compact`).
+    """
+    with Session(jobs=jobs, metrics=metrics, interp=interp) as session:
+        return session.stream_compact(
+            program,
+            path,
+            args=args,
+            inputs=inputs,
+            max_events=max_events,
+            verify=verify,
+        )
 
 
 def query(

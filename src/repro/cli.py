@@ -17,6 +17,10 @@ Usage (also via ``python -m repro``)::
     repro-wpp hotpaths run.wpp                       # hot acyclic paths
     repro-wpp scan traces/                           # refresh store catalog
     repro-wpp serve traces/ --port 8080              # trace-serving daemon
+    repro-wpp corpus ingest corpus/ run*.twpp -j 4   # shared multi-run corpus
+    repro-wpp corpus diff corpus/ run1 run8          # cross-run diff
+    repro-wpp corpus hot corpus/ --top 10            # corpus-wide hot paths
+    repro-wpp corpus stats corpus/                   # sharing/compaction report
     repro-wpp experiments --scale 1.0                # all tables+figures
 
 Every command reads/writes the documented on-disk formats, so the CLI
@@ -63,20 +67,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     program = parse_program(Path(args.program).read_text())
     if args.stream:
-        from .compact.stream import stream_compact
+        from .api import stream_compact
         from .obs import MetricsRegistry
 
         metrics = MetricsRegistry()
         res = stream_compact(
             program,
             args.output,
-            args=args.arg,
-            inputs=args.input,
+            args=tuple(args.arg),
+            inputs=tuple(args.input),
             jobs=args.jobs,
             max_events=args.max_events,
             metrics=metrics,
             interp=args.interp,
+            verify=args.verify,
         )
+        if args.verify:
+            print(f"verified {args.output} reads back identically")
         print(
             f"streamed {res.events} events ({res.run.calls_made} calls) "
             f"at {res.events_per_sec:,.0f} events/s, wrote {args.output} "
@@ -383,11 +390,107 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
-    from .compact.delta import diff_twpp_files
+    if args.corpus:
+        from .api import Session
 
-    delta = diff_twpp_files(args.twpp_a, args.twpp_b)
+        with Session() as session:
+            with session.corpus(args.corpus) as corpus:
+                delta = corpus.diff(args.twpp_a, args.twpp_b)
+    else:
+        from .compact.delta import diff_twpp_files
+
+        delta = diff_twpp_files(args.twpp_a, args.twpp_b)
     print(delta.render(limit=args.limit))
     return 0 if delta.identical else 1
+
+
+def _cmd_corpus_ingest(args: argparse.Namespace) -> int:
+    from .api import Session
+    from .obs import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    with Session(jobs=args.jobs, metrics=metrics) as session:
+        with session.corpus(args.root) as corpus:
+            results = corpus.ingest_runs(
+                args.twpp, runs=args.run or None, jobs=args.jobs
+            )
+            for r in results:
+                print(
+                    f"{r.run}: {r.twpp_bytes} bytes -> "
+                    f"{r.manifest_bytes + r.bytes_added} marginal "
+                    f"({r.blobs_added} new blob(s), {r.blobs_shared} "
+                    f"shared, x{r.compaction_factor:.1f})"
+                )
+            report = corpus.stats()
+    print(
+        f"corpus: {len(report['runs'])} run(s), "
+        f"{report['twpp_bytes']} .twpp bytes held in "
+        f"{report['corpus_bytes']} (x{report['compaction_factor']:.1f})"
+    )
+    if args.metrics_out:
+        metrics.write_json(args.metrics_out)
+        print(f"wrote {args.metrics_out}")
+    return 0
+
+
+def _cmd_corpus_diff(args: argparse.Namespace) -> int:
+    from .api import Session
+
+    with Session() as session:
+        with session.corpus(args.root) as corpus:
+            delta = corpus.diff(args.run_a, args.run_b)
+    print(delta.render(limit=args.limit))
+    return 0 if delta.identical else 1
+
+
+def _cmd_corpus_hot(args: argparse.Namespace) -> int:
+    from .api import Session
+
+    with Session() as session:
+        with session.corpus(args.root) as corpus:
+            profile = corpus.hot_paths(
+                runs=args.run or None, functions=args.function or None
+            )
+    scope = ", ".join(args.run) if args.run else "all runs"
+    print(
+        f"{profile.distinct_paths()} distinct acyclic paths over {scope}, "
+        f"{profile.total_executions} executions; "
+        f"{profile.coverage(args.coverage)} path(s) cover "
+        f"{args.coverage:.0%}"
+    )
+    for hot in profile.hot_paths(args.top):
+        print(" ", hot)
+    return 0
+
+
+def _cmd_corpus_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from .api import Session
+
+    with Session() as session:
+        with session.corpus(args.root) as corpus:
+            report = corpus.stats()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    for run in report["runs"]:
+        print(
+            f"{run['run']}: {run['twpp_bytes']} bytes, "
+            f"{run['functions']} function(s), {run['pairs']} pair(s), "
+            f"{run['blobs_added']} new / {run['blobs_shared']} shared "
+            f"blob(s), x{run['compaction_factor']:.1f}"
+        )
+    for kind, info in report["blobs"].items():
+        print(f"blobs[{kind}]: {info['count']} ({info['bytes']} bytes)")
+    print(
+        f"total: {report['twpp_bytes']} .twpp bytes held in "
+        f"{report['corpus_bytes']} corpus bytes "
+        f"(pack {report['pack_bytes']} + manifests "
+        f"{report['manifest_bytes']}; catalog {report['catalog_bytes']}), "
+        f"x{report['compaction_factor']:.1f}"
+    )
+    return 0
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -486,6 +589,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="compact while executing and write a .twpp directly "
                         "(overlapped trace->compact->write pipeline; -j sets "
                         "the consumer thread count)")
+    p.add_argument("--verify", action="store_true",
+                   help="with --stream: read the written .twpp back and "
+                        "check every function's traces (through the worker "
+                        "pool when -j > 1)")
     p.add_argument("--interp", choices=["tree", "compiled"], default=None,
                    help="execution engine: 'compiled' translates the program "
                         "once to dispatch-free Python (default; falls back to "
@@ -590,10 +697,62 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "diff", help="compare two .twpp runs (exit 1 when they differ)"
     )
-    p.add_argument("twpp_a")
-    p.add_argument("twpp_b")
+    p.add_argument("twpp_a", help=".twpp path (or run name with --corpus)")
+    p.add_argument("twpp_b", help=".twpp path (or run name with --corpus)")
     p.add_argument("--limit", type=int, default=20)
+    p.add_argument("--corpus", metavar="ROOT", default=None,
+                   help="treat the two arguments as run names in this "
+                        "corpus directory and diff them from shared blobs")
     p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser(
+        "corpus",
+        help="content-addressed multi-run trace corpus",
+        description="Ingest .twpp runs into a shared content-addressed "
+                    "corpus and analyze across them without "
+                    "rematerializing any run.",
+    )
+    corpus_sub = p.add_subparsers(dest="corpus_command", required=True)
+
+    cp = corpus_sub.add_parser(
+        "ingest", help="add .twpp runs to a corpus (parallel scans with -j)",
+        parents=[metrics_parent, jobs_parent],
+    )
+    cp.add_argument("root", help="corpus directory (created if missing)")
+    cp.add_argument("twpp", nargs="+", help=".twpp file(s) to ingest")
+    cp.add_argument("--run", action="append", default=[],
+                    help="run name for each file, in order "
+                         "(default: the file stem)")
+    cp.set_defaults(func=_cmd_corpus_ingest)
+
+    cp = corpus_sub.add_parser(
+        "diff", help="compare two ingested runs (exit 1 when they differ)"
+    )
+    cp.add_argument("root", help="corpus directory")
+    cp.add_argument("run_a")
+    cp.add_argument("run_b")
+    cp.add_argument("--limit", type=int, default=20)
+    cp.set_defaults(func=_cmd_corpus_diff)
+
+    cp = corpus_sub.add_parser(
+        "hot", help="hot acyclic paths aggregated across ingested runs"
+    )
+    cp.add_argument("root", help="corpus directory")
+    cp.add_argument("--run", action="append", default=[],
+                    help="restrict to this run (repeatable; default: all)")
+    cp.add_argument("--function", action="append", default=[],
+                    help="restrict to this function (repeatable)")
+    cp.add_argument("--top", type=int, default=10)
+    cp.add_argument("--coverage", type=float, default=0.9)
+    cp.set_defaults(func=_cmd_corpus_hot)
+
+    cp = corpus_sub.add_parser(
+        "stats", help="per-run and corpus-level compaction accounting"
+    )
+    cp.add_argument("root", help="corpus directory")
+    cp.add_argument("--json", action="store_true",
+                    help="emit the full report as JSON")
+    cp.set_defaults(func=_cmd_corpus_stats)
 
     p = sub.add_parser("check", help="verify a .twpp file's integrity")
     p.add_argument("twpp")
@@ -625,8 +784,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
         return 2
 
 

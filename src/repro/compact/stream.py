@@ -208,6 +208,8 @@ def stream_compact(
     max_events: Optional[int] = None,
     metrics: Optional[MetricsRegistry] = None,
     interp: Optional[str] = None,
+    verify: bool = False,
+    pool=None,
 ) -> StreamResult:
     """Run a program and write its compacted ``.twpp`` in one pass.
 
@@ -220,6 +222,14 @@ def stream_compact(
     into ``ingest.interp`` (pure interpreter + tracer work) and
     ``ingest.stall`` (blocked on consumer backpressure), alongside the
     consumer-side ``ingest.compact`` timer.
+
+    ``verify=True`` reads the written file back and checks every
+    function's expanded traces against the in-memory compaction
+    (``ingest.verify`` timer).  Pass a
+    :class:`~repro.parallel.pool.WorkerPool` as ``pool`` to fan the
+    read-back across worker processes -- their own mmaps, so the check
+    also covers what a *fresh* reader sees; a crashed worker falls back
+    to an in-process engine.
     """
     from .parallel import resolve_jobs
 
@@ -320,6 +330,10 @@ def stream_compact(
                 path, functions, sections, dcg_raw, dcg_comp
             )
 
+        if verify:
+            with metrics.timer("ingest.verify"):
+                _verify_readback(path, functions, pool, metrics)
+
     metrics.inc("ingest.events", events)
     metrics.inc("ingest.activations", len(dcg.node_func))
     metrics.inc("ingest.functions", n_funcs)
@@ -345,6 +359,50 @@ def stream_compact(
         events=events,
         events_per_sec=events_per_sec,
     )
+
+
+def _verify_readback(
+    path: PathLike,
+    functions: List[FunctionCompact],
+    pool,
+    metrics: MetricsRegistry,
+) -> None:
+    """Check the written file serves the traces we just compacted.
+
+    Expectations come from the in-memory tables (no file access); the
+    read side goes through the worker pool when one is supplied --
+    after evicting any engine a worker may hold for a previous file at
+    this path -- or a throwaway in-process engine otherwise.
+    """
+    expected = {
+        fc.name: [fc.expand_pair(p) for p in range(len(fc.pairs))]
+        for fc in functions
+    }
+    names = list(expected)
+    got = None
+    if pool is not None:
+        from ..parallel import WorkerCrashed
+
+        fspath = os.fspath(path)
+        pool.evict(fspath)  # workers may hold mmaps of an older file here
+        try:
+            got = pool.traces_many(fspath, names)
+        except WorkerCrashed:
+            got = None
+        else:
+            metrics.inc("ingest.verify_pooled")
+    if got is None:
+        from .qserve import QueryEngine
+
+        with QueryEngine(path, cache_bytes=0, metrics=metrics) as engine:
+            got = engine.traces_many(names)
+    for name in names:
+        if got[name] != expected[name]:
+            raise ValueError(
+                f"stream verify failed: function {name!r} reads back"
+                " differently than it was compacted"
+            )
+    metrics.inc("ingest.verified_functions", len(names))
 
 
 def _write_incremental(

@@ -1,0 +1,54 @@
+"""Content-addressed multi-run trace corpus.
+
+The paper eliminates redundant path traces *within* one run; a corpus
+extends the same idea *across* runs.  Unique compacted trace bodies,
+DBB dictionaries, and fixed-size chunks of the DCG activation stream
+are content-addressed (sha1 over kind + payload) into one append-only
+pack file; each ingested run's TWPP becomes a compact manifest of blob
+references, and a SQLite catalog tracks runs, blobs, and per-function
+membership so cross-run analyses (diff, corpus-wide hot paths, block
+frequencies) run straight off the shared compressed form -- no run is
+ever rematerialized as a ``.twpp``.
+
+Layout of a corpus directory::
+
+    corpus.sqlite     the catalog (runs, blobs, functions, pairs)
+    blobs.pack        self-describing append-only blob records
+    runs/<run>.manifest   one compact manifest per ingested run
+
+Build one through :meth:`repro.api.Session.corpus`.
+"""
+
+from .blobs import (
+    BlobPack,
+    KIND_BODY,
+    KIND_DCG,
+    KIND_DICT,
+    blob_sha,
+)
+from .catalog import CorpusCatalog, CorpusRun
+from .corpus import IngestResult, TraceCorpus
+from .manifest import (
+    RunDigest,
+    RunManifest,
+    decode_manifest,
+    encode_manifest,
+    scan_run,
+)
+
+__all__ = [
+    "BlobPack",
+    "CorpusCatalog",
+    "CorpusRun",
+    "IngestResult",
+    "KIND_BODY",
+    "KIND_DCG",
+    "KIND_DICT",
+    "RunDigest",
+    "RunManifest",
+    "TraceCorpus",
+    "blob_sha",
+    "decode_manifest",
+    "encode_manifest",
+    "scan_run",
+]

@@ -152,6 +152,11 @@ class _WorkerState:
             return wire.encode_payloads(
                 [wire.encode_traces(engine.traces(name)) for name in names]
             )
+        if kind == "corpus_scan":
+            _, path = item
+            from ..corpus.manifest import encode_digest, scan_run
+
+            return encode_digest(scan_run(self.engine(path)))
         if kind == "analyze":
             return self._analyze(item)
         if kind == "freq":
@@ -423,6 +428,9 @@ class WorkerPool:
             return (item[1], item[3] if kind == "analyze" else item[2])
         if kind == "freq":
             return (item[1], item[2])
+        if kind == "corpus_scan":
+            # One whole file per item: spread files across workers.
+            return (item[1], "")
         return None
 
     def route(self, item: Tuple) -> int:

@@ -178,20 +178,26 @@ class TraceCatalog:
 
         stale: List[Tuple[str, str, bool]] = []  # (trace, path, is_new)
         unchanged = 0
+        removed = [trace for trace in known if trace not in seen]
         for trace, path in seen.items():
-            row = known.get(trace)
-            if row is None or row[1] != path:
-                stale.append((trace, path, True))
-                continue
             try:
                 st = os.stat(path)
             except OSError:
+                st = None
+            if st is None or st.st_size == 0:
+                # Deleted between the glob and now, or truncated to
+                # nothing (an interrupted writer): there is no header
+                # to read, so this is a removal, not a parse error.
+                if trace in known:
+                    removed.append(trace)
                 continue
-            if (st.st_mtime_ns, st.st_size) == (row[2], row[3]):
+            row = known.get(trace)
+            if row is None or row[1] != path:
+                stale.append((trace, path, True))
+            elif (st.st_mtime_ns, st.st_size) == (row[2], row[3]):
                 unchanged += 1
             else:
                 stale.append((trace, path, False))
-        removed = [trace for trace in known if trace not in seen]
 
         if jobs == 0:
             jobs = os.cpu_count() or 1

@@ -221,7 +221,7 @@ class TraceStore:
         self._inc("store.requests.analyze")
         t0 = time.perf_counter()
         try:
-            entry = self._entry(request.trace)
+            entry = self._check_fresh(self._entry(request.trace))
             try:
                 parse_fact(request.fact)
             except ValueError as exc:
@@ -356,13 +356,18 @@ class TraceStore:
     ) -> Tuple[List[Tuple[int, ...]], bool]:
         """One function's traces plus a was-it-cold flag.
 
-        Warm keys are answered straight from the engine's cache; cold
-        keys go through the coalescing protocol so concurrent identical
-        requests cost a single decode."""
+        Warm keys are answered straight from the engine's cache (no
+        file access at all); cold keys stat-check the file first
+        (:meth:`_check_fresh`) and then go through the coalescing
+        protocol so concurrent identical requests cost a single
+        decode."""
+        engine = self._session._engines.get(entry.path)
+        if engine is not None:
+            cached = engine.cached_traces(name)
+            if cached is not None:
+                return cached, False
+        entry = self._check_fresh(entry)
         engine = self._session.engine(entry.path)
-        cached = engine.cached_traces(name)
-        if cached is not None:
-            return cached, False
         key = (entry.path, name)
         with self._lock:
             fut = self._inflight.get(key)
@@ -410,6 +415,42 @@ class TraceStore:
         return engine.traces(name)
 
     # ---- helpers ------------------------------------------------------
+
+    def _check_fresh(self, entry: CatalogTrace) -> CatalogTrace:
+        """Stat-verify a catalog row before any cold file access.
+
+        A ``.twpp`` deleted or truncated between scans must be noticed
+        *before* an engine maps it: reading an mmap of a truncated file
+        faults the process (there is no exception to catch), and a
+        stale mtime means the engine would decode a different file than
+        the catalog describes.  Stale rows evict the warm engine, drop
+        the memoized lookups, rescan the catalog, and either return the
+        refreshed row or raise :class:`TraceNotFound` when the trace is
+        gone for good.
+        """
+        try:
+            st = os.stat(entry.path)
+            fresh = st.st_size > 0 and (
+                (st.st_mtime_ns, st.st_size)
+                == (entry.mtime_ns, entry.size)
+            )
+        except OSError:
+            fresh = False
+        if fresh:
+            return entry
+        self._session.evict(entry.path)
+        self._inc("store.stale_detected")
+        self.scan()
+        with self._lock:
+            self._entries.pop(entry.trace, None)
+            self._functions.pop(entry.trace, None)
+            self._function_sets.pop(entry.trace, None)
+            self._lru.pop(entry.trace, None)
+        refreshed = self.catalog.trace(entry.trace)
+        if refreshed is None:
+            raise TraceNotFound(f"trace {entry.trace!r} no longer in store")
+        self._entries[entry.trace] = refreshed
+        return refreshed
 
     def _entry(self, trace: str) -> CatalogTrace:
         entry = self._entries.get(trace)

@@ -52,6 +52,14 @@ class TestExamples:
         assert ".twpp (compacted)" in out
         assert "Per-function query cost" in out
 
+    def test_regression_diff(self, capsys):
+        out = run_example("regression_diff.py", [], capsys)
+        assert "repro-wpp diff" in out
+        assert "exit code 1: 1 means behaviour changed" in out
+        # The corpus route reports the same difference from shared blobs.
+        assert "corpus diff" in out
+        assert "(exit code 1, served from the shared blob store)" in out
+
     def test_hot_paths(self, capsys):
         out = run_example("hot_paths.py", ["perl-like", "0.2"], capsys)
         assert "Hottest paths" in out

@@ -128,6 +128,15 @@ class TestCatalog:
         assert result.added == 1 and len(result.errors) == 1
         assert "junk" not in catalog
 
+    def test_truncated_file_is_a_removal_not_an_error(self, tmp_path):
+        write_trace(tmp_path, "li-like")
+        catalog = TraceCatalog()
+        catalog.scan(tmp_path)
+        (tmp_path / "li-like.twpp").write_bytes(b"")
+        result = catalog.scan(tmp_path)
+        assert result.removed == 1 and not result.errors
+        assert "li-like" not in catalog
+
 
 class TestTraceStore:
     def test_query_matches_session(self, store, store_root):
@@ -215,6 +224,59 @@ class TestTraceStore:
             assert [t["trace"] for t in listing["traces"]] == ["li-like"]
             # the stale engine was evicted along with the file
             assert not store._is_warm(str(tmp_path / "ijpeg-like.twpp"))
+
+
+class TestStaleFiles:
+    """Files deleted or truncated *between* scans must surface as
+    :class:`TraceNotFound`, never as a decode error (or worse, a fault
+    from mapping a truncated file)."""
+
+    def test_deleted_file_raises_not_found_on_cold_request(self, tmp_path):
+        write_trace(tmp_path, "li-like", with_ir=False)
+        with TraceStore(tmp_path) as store:
+            names = [f.name for f in store.catalog.functions("li-like")]
+            assert len(names) >= 2
+            store.query(QueryRequest(trace="li-like", functions=(names[0],)))
+            (tmp_path / "li-like.twpp").unlink()
+            with pytest.raises(TraceNotFound):
+                store.query(
+                    QueryRequest(trace="li-like", functions=(names[1],))
+                )
+            assert store.metrics.counter("store.stale_detected") == 1
+            assert len(store) == 0
+
+    def test_truncated_file_raises_not_found_on_cold_request(self, tmp_path):
+        write_trace(tmp_path, "li-like", with_ir=False)
+        with TraceStore(tmp_path) as store:
+            names = [f.name for f in store.catalog.functions("li-like")]
+            store.query(QueryRequest(trace="li-like", functions=(names[0],)))
+            (tmp_path / "li-like.twpp").write_bytes(b"")
+            with pytest.raises(TraceNotFound):
+                store.query(
+                    QueryRequest(trace="li-like", functions=(names[1],))
+                )
+            assert store.metrics.counter("store.stale_detected") == 1
+
+    def test_warm_cache_hits_survive_deletion(self, tmp_path):
+        write_trace(tmp_path, "li-like", with_ir=False)
+        with TraceStore(tmp_path) as store:
+            name = store.catalog.functions("li-like")[0].name
+            request = QueryRequest(trace="li-like", functions=(name,))
+            before = store.query(request)
+            (tmp_path / "li-like.twpp").unlink()
+            # Already-decoded keys are answered from the warm engine's
+            # cache without touching the file at all.
+            assert store.query(request) == before
+            assert store.metrics.counter("store.stale_detected") == 0
+
+    def test_analyze_on_deleted_file_raises_not_found(self, tmp_path):
+        write_trace(tmp_path, "li-like")
+        with TraceStore(tmp_path) as store:
+            (tmp_path / "li-like.twpp").unlink()
+            with pytest.raises(TraceNotFound):
+                store.analyze(
+                    AnalyzeRequest(trace="li-like", fact="def:acc")
+                )
 
 
 class TestEviction:
