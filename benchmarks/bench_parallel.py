@@ -16,12 +16,14 @@ compact wire discipline is verified twice: parent-side (every payload
 smaller than pickling the decoded objects it replaces) and through the
 ``pool.result_bytes`` histogram the pool itself records.
 
-The ``jobs=2 >= 1.3x jobs=1`` gate only makes sense with two real
-CPUs; :func:`repro.bench.workbench.cpu_guard` skips it (recording the
-skip in the emitted JSON) on smaller machines.
+The gates auto-scale to the runner: ``jobs=2 >= 1.3x`` needs two real
+CPUs, and on machines exposing >= 4 cores both legs run again with a
+``jobs=4`` pool gated at >= 2.0x
+(:func:`repro.bench.workbench.cpu_guard` records the skip in the
+emitted JSON on smaller machines).
 
 Results land in ``BENCH_parallel.json`` (schema
-``repro.bench_parallel/1``).  Runs two ways::
+``repro.bench_parallel/2``).  Runs two ways::
 
     pytest benchmarks/bench_parallel.py            # bench suite
     python benchmarks/bench_parallel.py --smoke    # CI smoke (no gate)
@@ -49,8 +51,12 @@ from repro.compact.qserve import QueryEngine
 from repro.obs import MetricsRegistry
 from repro.parallel import WorkerPool, wire
 
-BENCH_SCHEMA = "repro.bench_parallel/1"
+BENCH_SCHEMA = "repro.bench_parallel/2"
 MIN_SPEEDUP = 1.3
+#: The auto-scaled leg: with >= 4 exposed cores the same two
+#: workloads run against a jobs=4 pool and must reach this speedup.
+JOBS4 = 4
+MIN_SPEEDUP_JOBS4 = 2.0
 
 #: Facts for the analysis sweep: several independent passes over the
 #: same hot traces, so even a workload dominated by one function still
@@ -98,7 +104,7 @@ def _bench_analysis(art, pool):
 
     t0 = time.perf_counter()
     pooled = fact_frequencies_many(tasks, pool=pool, program=art.program)
-    jobs2_ms = (time.perf_counter() - t0) * 1000.0
+    pool_ms = (time.perf_counter() - t0) * 1000.0
 
     identical = [_canon_report(r) for r in serial] == [
         _canon_report(r) for r in pooled
@@ -106,9 +112,10 @@ def _bench_analysis(art, pool):
     return {
         "tasks": len(tasks),
         "facts": len(ANALYSIS_FACTS),
+        "jobs": pool.jobs,
         "jobs1_ms": round(jobs1_ms, 1),
-        "jobs2_ms": round(jobs2_ms, 1),
-        "speedup": round(jobs1_ms / jobs2_ms, 2) if jobs2_ms else None,
+        "pool_ms": round(pool_ms, 1),
+        "speedup": round(jobs1_ms / pool_ms, 2) if pool_ms else None,
         "identical_to_serial": identical,
     }
 
@@ -136,7 +143,7 @@ def _bench_query(arts, pool, rounds):
         for path, names in corpus:
             decoded = pool.traces_many(path, names)
             identical = identical and decoded == references[path]
-    jobs2_ms = (time.perf_counter() - t0) * 1000.0
+    pool_ms = (time.perf_counter() - t0) * 1000.0
 
     # Wire-size accounting against what pickling the decoded traces
     # (the old fan-out's payload) would have shipped.  Re-encoding is
@@ -158,9 +165,10 @@ def _bench_query(arts, pool, rounds):
         "corpora": len(corpus),
         "functions": sum(len(names) for _path, names in corpus),
         "rounds": rounds,
+        "jobs": pool.jobs,
         "jobs1_ms": round(jobs1_ms, 1),
-        "jobs2_ms": round(jobs2_ms, 1),
-        "speedup": round(jobs1_ms / jobs2_ms, 2) if jobs2_ms else None,
+        "pool_ms": round(pool_ms, 1),
+        "speedup": round(jobs1_ms / pool_ms, 2) if pool_ms else None,
         "identical_to_serial": identical,
     }, {
         "max_payload_bytes": max(payload_bytes),
@@ -203,6 +211,20 @@ def run_bench(scale=1.0, smoke=False, out_dir=None, rounds=None):
         inline = pool.inline
         pool_doc = metrics.to_dict()
 
+    # Auto-scaled leg: rerun both workloads against a jobs=4 pool when
+    # the machine actually exposes that many cores (fresh serial
+    # baselines, so neither leg borrows the other's warm state).
+    guard4 = cpu_guard(JOBS4)
+    if guard4 is None and not smoke:
+        with WorkerPool(JOBS4, metrics=MetricsRegistry()) as pool4:
+            jobs4 = {
+                "jobs": JOBS4,
+                "analysis": _bench_analysis(art, pool4),
+            }
+            jobs4["query"], _ = _bench_query(arts, pool4, rounds)
+    else:
+        jobs4 = {"skipped": guard4 or "smoke"}
+
     hist = pool_doc.get("histograms", {}).get("pool.result_bytes")
     return {
         "schema": BENCH_SCHEMA,
@@ -218,6 +240,7 @@ def run_bench(scale=1.0, smoke=False, out_dir=None, rounds=None):
         "inline_fallback": inline,
         "analysis": analysis,
         "query": query,
+        "jobs4": jobs4,
         "wire": wire_doc,
         "result_bytes": hist,
         "pool_counters": {
@@ -229,6 +252,11 @@ def run_bench(scale=1.0, smoke=False, out_dir=None, rounds=None):
             "min_speedup": MIN_SPEEDUP,
             "enforced": guard is None and not smoke,
             "skipped": guard,
+            "jobs4": {
+                "min_speedup": MIN_SPEEDUP_JOBS4,
+                "enforced": "skipped" not in jobs4,
+                "skipped": jobs4.get("skipped"),
+            },
         },
     }
 
@@ -259,6 +287,17 @@ def check_doc(doc):
                 errors.append(
                     f"{workload} jobs=2 speedup {speedup} below "
                     f"{doc['gate']['min_speedup']}x"
+                )
+    if doc["gate"]["jobs4"]["enforced"]:
+        floor = doc["gate"]["jobs4"]["min_speedup"]
+        for workload in ("analysis", "query"):
+            leg = doc["jobs4"][workload]
+            if not leg["identical_to_serial"]:
+                errors.append(f"jobs=4 {workload} diverged from serial")
+            if leg["speedup"] is None or leg["speedup"] < floor:
+                errors.append(
+                    f"{workload} jobs=4 speedup {leg['speedup']} below "
+                    f"{floor}x"
                 )
     return errors
 

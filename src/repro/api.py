@@ -323,6 +323,7 @@ class Session:
         cache_bytes: Optional[int] = None,
         catalog_path: Optional[PathLike] = None,
         jobs: int = 1,
+        corpus: Optional[PathLike] = None,
     ):
         """Open a :class:`~repro.store.store.TraceStore` over a directory
         of ``.twpp`` files, backed by this session's warm engines.
@@ -333,6 +334,9 @@ class Session:
         :meth:`evict` to stay inside it.  ``catalog_path`` overrides
         where the SQLite catalog lives (default ``catalog.sqlite`` in
         the store directory); ``jobs`` fans the initial catalog scan.
+        ``corpus`` attaches a multi-run corpus directory so the store's
+        ``corpus_stats``/``corpus_hot``/``corpus_diff`` verbs (and the
+        HTTP daemon's ``/corpus/*`` endpoints) can serve it.
         """
         from .store.store import TraceStore
 
@@ -342,6 +346,7 @@ class Session:
             cache_bytes=cache_bytes,
             catalog_path=catalog_path,
             jobs=jobs,
+            corpus=corpus,
         )
 
     def corpus(

@@ -286,6 +286,8 @@ def _cmd_scan(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from .api import Session
     from .store.server import TraceServer
 
@@ -294,10 +296,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_bytes=args.cache_bytes,
         threads=args.threads or None,
     )
-    store = session.store(args.store, jobs=args.jobs)
+    store = session.store(args.store, jobs=args.jobs, corpus=args.corpus)
     server = TraceServer(
-        store, host=args.host, port=args.port, verbose=args.verbose
+        store,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        workers=args.workers,
     )
+
+    def _request_stop(signum, frame):
+        print(
+            f"{signal.Signals(signum).name}: draining and shutting down",
+            file=sys.stderr,
+            flush=True,
+        )
+        server.request_stop()
+
+    previous = {
+        sig: signal.signal(sig, _request_stop)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
     print(
         f"serving {args.store} ({len(store)} trace(s)) at {server.url}",
         flush=True,
@@ -307,6 +326,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
     finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
         if args.metrics_out:
             store.metrics.write_json(args.metrics_out)
             print(f"wrote {args.metrics_out}", file=sys.stderr)
@@ -434,23 +455,39 @@ def _cmd_corpus_ingest(args: argparse.Namespace) -> int:
 
 
 def _cmd_corpus_diff(args: argparse.Namespace) -> int:
+    import json
+
     from .api import Session
+    from .corpus import diff_doc
 
     with Session() as session:
         with session.corpus(args.root) as corpus:
             delta = corpus.diff(args.run_a, args.run_b)
-    print(delta.render(limit=args.limit))
+    if args.json:
+        print(json.dumps(diff_doc(delta, limit=args.limit),
+                         indent=2, sort_keys=True))
+    else:
+        print(delta.render(limit=args.limit))
     return 0 if delta.identical else 1
 
 
 def _cmd_corpus_hot(args: argparse.Namespace) -> int:
+    import json
+
     from .api import Session
+    from .corpus import hot_doc
 
     with Session() as session:
         with session.corpus(args.root) as corpus:
             profile = corpus.hot_paths(
                 runs=args.run or None, functions=args.function or None
             )
+    if args.json:
+        print(json.dumps(
+            hot_doc(profile, top=args.top, coverage=args.coverage),
+            indent=2, sort_keys=True,
+        ))
+        return 0
     scope = ", ".join(args.run) if args.run else "all runs"
     print(
         f"{profile.distinct_paths()} distinct acyclic paths over {scope}, "
@@ -551,6 +588,7 @@ def build_parser() -> argparse.ArgumentParser:
     ``-j/--jobs`` spell and behave identically everywhere they appear.
     """
     from .compact.qserve import DEFAULT_CACHE_BYTES
+    from .store.server import DEFAULT_WORKERS
 
     metrics_parent = argparse.ArgumentParser(add_help=False)
     metrics_parent.add_argument(
@@ -683,6 +721,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=0,
                    help="worker threads per engine for batch pulls "
                         "(0 = auto)")
+    p.add_argument("--workers", type=int, default=DEFAULT_WORKERS,
+                   help="HTTP worker threads handling keep-alive "
+                        f"connections (default {DEFAULT_WORKERS})")
+    p.add_argument("--corpus", metavar="ROOT", default=None,
+                   help="also serve /corpus/* endpoints from this "
+                        "multi-run corpus directory")
     p.add_argument("--verbose", action="store_true",
                    help="log every request to stderr")
     p.set_defaults(func=_cmd_serve)
@@ -732,6 +776,9 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("run_a")
     cp.add_argument("run_b")
     cp.add_argument("--limit", type=int, default=20)
+    cp.add_argument("--json", action="store_true",
+                    help="emit the diff as JSON (the same document "
+                         "GET /corpus/diff serves)")
     cp.set_defaults(func=_cmd_corpus_diff)
 
     cp = corpus_sub.add_parser(
@@ -744,6 +791,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="restrict to this function (repeatable)")
     cp.add_argument("--top", type=int, default=10)
     cp.add_argument("--coverage", type=float, default=0.9)
+    cp.add_argument("--json", action="store_true",
+                    help="emit the profile as JSON (the same document "
+                         "GET /corpus/hot serves)")
     cp.set_defaults(func=_cmd_corpus_hot)
 
     cp = corpus_sub.add_parser(

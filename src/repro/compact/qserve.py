@@ -227,6 +227,7 @@ class LruByteCache:
         self._lock = lock if lock is not None else threading.Lock()
         self._metrics = metrics
         self._prefix = prefix
+        self._metric_names: Dict[str, str] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -234,7 +235,11 @@ class LruByteCache:
 
     def _inc(self, name: str) -> None:  # caller holds the lock
         if self._metrics is not None:
-            self._metrics.inc(f"{self._prefix}.{name}")
+            full = self._metric_names.get(name)
+            if full is None:
+                full = f"{self._prefix}.{name}"
+                self._metric_names[name] = full
+            self._metrics.inc(full)
 
     def get(self, key, default=None):
         with self._lock:

@@ -27,7 +27,7 @@ from .blobs import (
     blob_sha,
 )
 from .catalog import CorpusCatalog, CorpusRun
-from .corpus import IngestResult, TraceCorpus
+from .corpus import IngestResult, TraceCorpus, diff_doc, hot_doc
 from .manifest import (
     RunDigest,
     RunManifest,
@@ -49,6 +49,8 @@ __all__ = [
     "TraceCorpus",
     "blob_sha",
     "decode_manifest",
+    "diff_doc",
     "encode_manifest",
+    "hot_doc",
     "scan_run",
 ]

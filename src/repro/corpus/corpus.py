@@ -553,3 +553,60 @@ class TraceCorpus:
                 )
             },
         }
+
+
+# ---------------------------------------------------------------------------
+# shared JSON document shapes
+
+def hot_doc(profile: PathProfile, top: int = 10, coverage: float = 0.9) -> Dict:
+    """One corpus hot-path profile as the stable JSON wire shape.
+
+    The CLI (``repro-wpp corpus hot --json``) and the daemon
+    (``GET /corpus/hot``) both emit exactly this document, so the two
+    surfaces stay byte-comparable after canonical encoding.
+    """
+    return {
+        "distinct_paths": profile.distinct_paths(),
+        "total_executions": profile.total_executions,
+        "coverage": {
+            "fraction": coverage,
+            "paths": profile.coverage(coverage),
+        },
+        "hot": [
+            {
+                "function": entry.function,
+                "path": list(entry.path),
+                "count": entry.count,
+                "fraction": round(entry.fraction, 6),
+            }
+            for entry in profile.hot_paths(top)
+        ],
+    }
+
+
+def diff_doc(delta: TwppDelta, limit: int = 20) -> Dict:
+    """One run-pair delta as the stable JSON wire shape.
+
+    Mirrors :meth:`~repro.compact.delta.TwppDelta.render` (same
+    ordering, same ``limit`` truncation) but machine-readable; shared
+    by ``repro-wpp corpus diff --json`` and ``GET /corpus/diff``.
+    """
+    changed = delta.changed_functions()
+    return {
+        "identical": delta.identical,
+        "only_in_a": list(delta.only_in_a),
+        "only_in_b": list(delta.only_in_b),
+        "changed_functions": len(changed),
+        "changed": [
+            {
+                "function": d.name,
+                "calls_a": d.calls_a,
+                "calls_b": d.calls_b,
+                "traces_a": d.traces_a,
+                "traces_b": d.traces_b,
+                "new_traces": len(d.only_in_b),
+                "vanished_traces": len(d.only_in_a),
+            }
+            for d in changed[:limit]
+        ],
+    }

@@ -2,10 +2,20 @@
 
 :mod:`repro.parallel.pool` runs persistent self-mapping worker
 processes; :mod:`repro.parallel.wire` is the compact varint wire
-format their results travel in.  See ``docs/ANALYSIS.md`` ("Parallel
-read path") for the architecture.
+format their results travel in; :mod:`repro.parallel.shm` is the
+cross-worker shared-memory decoded-record cache.  See
+``docs/ANALYSIS.md`` ("Parallel read path" and "Serving at scale")
+for the architecture.
 """
 
 from .pool import WorkerCrashed, WorkerPool, program_key
+from .shm import ShmCache, ShmReader, shm_key
 
-__all__ = ["WorkerPool", "WorkerCrashed", "program_key"]
+__all__ = [
+    "WorkerPool",
+    "WorkerCrashed",
+    "program_key",
+    "ShmCache",
+    "ShmReader",
+    "shm_key",
+]

@@ -37,6 +37,7 @@ import multiprocessing
 import os
 import pickle
 import queue
+import struct
 import threading
 import time
 import zlib
@@ -45,6 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..obs import MetricsRegistry
 from . import wire
+from .shm import ShmCache, ShmReader, shm_key
 
 __all__ = ["WorkerPool", "WorkerCrashed", "program_key"]
 
@@ -83,9 +85,15 @@ class _WorkerState:
     execution, so both modes execute byte-identical logic.
     """
 
-    def __init__(self, cache_bytes: int, metrics: Optional[MetricsRegistry] = None):
+    def __init__(
+        self,
+        cache_bytes: int,
+        metrics: Optional[MetricsRegistry] = None,
+        shm: Optional[ShmReader] = None,
+    ):
         self.cache_bytes = cache_bytes
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.shm = shm
         self._engines: Dict[str, object] = {}
         self._program_text: Dict[str, str] = {}
         self._programs: Dict[str, object] = {}
@@ -138,6 +146,38 @@ class _WorkerState:
         for engine in self._engines.values():
             engine.close()
         self._engines.clear()
+        if self.shm is not None:
+            self.shm.close()
+            self.shm = None
+
+    # ---- shared warm bytes --------------------------------------------
+
+    def traces_list(self, path: str, name: str) -> List:
+        """Decoded traces for one function: own engine cache first,
+        then the cross-worker shm segment, then a real decode."""
+        engine = self.engine(path)
+        cached = engine.cached_traces(name)
+        if cached is not None:
+            return cached
+        if self.shm is not None:
+            payload = self.shm.get(shm_key(path, name))
+            if payload is not None:
+                return engine.put_traces(name, wire.decode_traces(payload))
+        return engine.traces(name)
+
+    def traces_payload(self, path: str, name: str) -> bytes:
+        """Compact wire payload for one function's traces; a shm hit
+        returns the shared bytes verbatim (identical by construction)."""
+        engine = self.engine(path)
+        cached = engine.cached_traces(name)
+        if cached is not None:
+            return wire.encode_traces(cached)
+        if self.shm is not None:
+            payload = self.shm.get(shm_key(path, name))
+            if payload is not None:
+                engine.put_traces(name, wire.decode_traces(payload))
+                return payload
+        return wire.encode_traces(engine.traces(name))
 
     # ---- item execution ----------------------------------------------
 
@@ -145,12 +185,11 @@ class _WorkerState:
         kind = item[0]
         if kind == "traces":
             _, path, name = item
-            return wire.encode_traces(self.engine(path).traces(name))
+            return self.traces_payload(path, name)
         if kind == "traces_many":
             _, path, names = item
-            engine = self.engine(path)
             return wire.encode_payloads(
-                [wire.encode_traces(engine.traces(name)) for name in names]
+                [self.traces_payload(path, name) for name in names]
             )
         if kind == "corpus_scan":
             _, path = item
@@ -181,7 +220,7 @@ class _WorkerState:
 
         func = self.program(prog_key).function(name)
         fact = self.fact(spec)
-        traces = self.engine(path).traces(name)
+        traces = self.traces_list(path, name)
         reports = [fact_frequencies(func, trace, fact) for trace in traces]
         return wire.encode_reports(reports)
 
@@ -221,12 +260,20 @@ class _WorkerState:
                 for path, engine in self._engines.items()
             },
             "programs": sorted(self._program_text),
+            "shm": None if self.shm is None else self.shm.stats(),
         }
 
 
-def _worker_main(worker_id: int, task_q, result_q, cache_bytes: int) -> None:
+def _worker_main(
+    worker_id: int,
+    task_q,
+    result_q,
+    cache_bytes: int,
+    shm_name: Optional[str] = None,
+) -> None:
     """Entry point of one pool worker process."""
     state = _WorkerState(cache_bytes)
+    state.shm = ShmReader.attach(shm_name, metrics=state.metrics)
     while True:
         task_id, item = task_q.get()
         kind = item[0]
@@ -285,6 +332,7 @@ class WorkerPool:
         cache_bytes: int = 64 * 1024 * 1024,
         metrics: Optional[MetricsRegistry] = None,
         max_retries: int = 2,
+        shm_bytes: Optional[int] = None,
     ):
         self.jobs = max(1, int(jobs))
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -302,9 +350,19 @@ class WorkerPool:
         self._inline: Optional[_WorkerState] = None
         self._procs: List = []
         self._task_qs: List = []
+        self._shm: Optional[ShmCache] = None
+        if shm_bytes is None:
+            shm_bytes = cache_bytes
         try:
             ctx = multiprocessing.get_context()
             self._result_q = ctx.Queue()
+            if self.jobs > 1 and shm_bytes > 0:
+                # Cross-worker warm bytes; None on platforms without
+                # usable shared memory (workers then keep private
+                # caches only -- same results, more decodes).
+                self._shm = ShmCache.create(
+                    shm_bytes, metrics=self.metrics, lock=self._mlock
+                )
             for i in range(self.jobs):
                 self._task_qs.append(ctx.Queue())
                 self._procs.append(self._spawn(ctx, i))
@@ -315,6 +373,9 @@ class WorkerPool:
                 if proc.is_alive():
                     proc.terminate()
             self._procs, self._task_qs = [], []
+            if self._shm is not None:
+                self._shm.close()
+                self._shm = None
             self._inline = _WorkerState(
                 self._worker_cache_bytes, metrics=self.metrics
             )
@@ -340,6 +401,14 @@ class WorkerPool:
     def worker_pids(self) -> List[int]:
         return [proc.pid for proc in self._procs]
 
+    @property
+    def shm_enabled(self) -> bool:
+        return self._shm is not None
+
+    def shm_stats(self) -> Optional[Dict]:
+        """Parent-side view of the shared segment (None when absent)."""
+        return None if self._shm is None else self._shm.stats()
+
     # ---- lifecycle ----------------------------------------------------
 
     def _spawn(self, ctx, worker_id: int):
@@ -350,6 +419,7 @@ class WorkerPool:
                 self._task_qs[worker_id],
                 self._result_q,
                 self._worker_cache_bytes,
+                None if self._shm is None else self._shm.name,
             ),
             daemon=True,
             name=f"pool-worker-{worker_id}",
@@ -374,6 +444,10 @@ class WorkerPool:
             if proc.is_alive():
                 proc.terminate()
         self._collector.join(timeout=2.0)
+        if self._shm is not None:
+            # After the collector: it is the only shm-appending thread.
+            shm, self._shm = self._shm, None
+            shm.close()
         with self._plock:
             pending, self._pending = list(self._pending.values()), {}
         for rec in pending:
@@ -416,6 +490,10 @@ class WorkerPool:
         if self._inline is not None:
             self._inline.evict(path)
             return
+        if self._shm is not None:
+            # The shared segment may hold that file's decoded bytes;
+            # an epoch bump evicts everything (stale reads are unsafe).
+            self._shm.invalidate()
         for task_q in self._task_qs:
             task_q.put((-1, ("__evict__", path)))
 
@@ -562,6 +640,7 @@ class WorkerPool:
                 continue  # duplicate after a respawn re-dispatch
             if ok:
                 self._finish_metrics(payload, rec.t0)
+                self._share(rec.item, payload)
                 rec.future.set_result(payload)
             else:
                 exc_name, message = payload
@@ -569,6 +648,22 @@ class WorkerPool:
                 if exc_type is WorkerCrashed:
                     message = f"{exc_name}: {message}"
                 rec.future.set_exception(exc_type(message))
+
+    def _share(self, item: Tuple, payload) -> None:
+        """Publish a completed decode's compact bytes to the shared
+        segment so every *other* worker (and respawns) can skip it."""
+        shm = self._shm
+        if shm is None or not isinstance(payload, (bytes, bytearray)):
+            return
+        try:
+            if item[0] == "traces":
+                shm.put(shm_key(item[1], item[2]), bytes(payload))
+            elif item[0] == "traces_many":
+                names = item[2]
+                for name, part in zip(names, wire.decode_payloads(payload)):
+                    shm.put(shm_key(item[1], name), part)
+        except (ValueError, struct.error):
+            pass  # malformed payload: the future still gets the bytes
 
     def _reap_dead(self) -> None:
         for worker_id, proc in enumerate(self._procs):

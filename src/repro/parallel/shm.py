@@ -1,0 +1,316 @@
+"""Cross-worker decoded-record cache over ``multiprocessing.shared_memory``.
+
+The pool's sticky routing keeps each worker's warm
+:class:`~repro.compact.qserve.QueryEngine` cache *disjoint*: when a
+batch re-routes (worker count changed, a worker respawned, or a
+one-off ``worker=`` override lands a key off its home shard), the new
+worker re-decodes records a sibling already paid for.  This module
+closes that gap with one parent-owned shared-memory segment that
+every process can read:
+
+* **Append-only segment.**  The parent is the only writer.  Entries
+  are ``[klen u32][plen u32][key][payload]`` records appended after a
+  32-byte header; ``payload`` is the exact compact varint encoding
+  (:func:`repro.parallel.wire.encode_traces`) that came back over the
+  pipe, so a shm hit is byte-identical to a fresh decode+encode.
+* **Offset index, built reader-side.**  Readers keep a private
+  ``{key: (offset, length)}`` dict and extend it by scanning only the
+  bytes appended since their last lookup -- no locks, no shared index.
+* **Parent-owned budget and eviction epoch.**  When an append would
+  overflow the budget, or the store evicts a file, the parent bumps
+  the header epoch and resets the used-offset.  Readers re-check the
+  epoch *after* copying a payload out; a mismatch means the bytes may
+  be torn, so the lookup is retried against the fresh epoch (and the
+  private index discarded).
+* **Safe fallback.**  :meth:`ShmCache.create` and
+  :meth:`ShmReader.attach` return ``None`` on any failure (no
+  ``multiprocessing.shared_memory``, ``/dev/shm`` too small, sealed
+  sandbox); callers then simply keep today's per-worker caches.
+
+Write ordering makes the lock-free readers safe: entry bytes land
+before the used-offset is published, and the epoch is bumped *before*
+the used-offset rewinds on reset.  Counters: the parent accounts
+``shm.appends`` / ``shm.append_bytes`` / ``shm.dups`` / ``shm.resets``
+/ ``shm.oversize`` / ``shm.invalidations``; each reader accounts
+``shm.hits`` / ``shm.misses`` in its own registry (surfacing in
+``worker_stats()``).
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from typing import Dict, Optional, Set, Tuple
+
+from ..obs import MetricsRegistry
+
+__all__ = ["ShmCache", "ShmReader", "shm_key", "HEADER_BYTES"]
+
+_MAGIC = b"RWSM"
+_VERSION = 1
+#: magic u32 | version u32 | epoch u64 | used u64 | reserved u64
+_HEADER = struct.Struct("<4sIQQQ")
+HEADER_BYTES = 32
+_EPOCH_OFF = 8
+_USED_OFF = 16
+_ENTRY = struct.Struct("<II")
+
+#: Smallest segment worth creating (header + one small record).
+_MIN_SEGMENT = HEADER_BYTES + (64 << 10)
+
+
+def shm_key(path: str, name: str) -> bytes:
+    """The cache key for one function's decoded traces of one file."""
+    return path.encode("utf-8", "surrogateescape") + b"\x00" + name.encode("utf-8")
+
+
+def _shared_memory():
+    from multiprocessing import shared_memory
+
+    return shared_memory
+
+
+class ShmCache:
+    """The parent-side writer half: owns the segment, budget and epoch."""
+
+    def __init__(
+        self,
+        segment,
+        metrics: Optional[MetricsRegistry] = None,
+        lock: Optional[threading.Lock] = None,
+    ):
+        self._seg = segment
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Registries are not thread-safe; callers sharing one (the
+        # pool) pass the lock that already guards their writes.
+        self._lock = lock if lock is not None else threading.Lock()
+        self._keys: Set[bytes] = set()
+        self._used = HEADER_BYTES
+        self._epoch = 1
+        self._entries = 0
+        _HEADER.pack_into(
+            segment.buf, 0, _MAGIC, _VERSION, self._epoch, self._used, 0
+        )
+
+    # ---- construction -------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        budget_bytes: int,
+        metrics: Optional[MetricsRegistry] = None,
+        lock: Optional[threading.Lock] = None,
+    ) -> Optional["ShmCache"]:
+        """Allocate a segment of ``budget_bytes``; ``None`` on failure."""
+        size = max(_MIN_SEGMENT, int(budget_bytes))
+        try:
+            seg = _shared_memory().SharedMemory(create=True, size=size)
+        except Exception:  # noqa: BLE001 - any failure means "no shm here"
+            return None
+        return cls(seg, metrics=metrics, lock=lock)
+
+    @property
+    def name(self) -> str:
+        return self._seg.name
+
+    @property
+    def size(self) -> int:
+        return self._seg.size
+
+    # ---- writes (parent only) -----------------------------------------
+
+    def put(self, key: bytes, payload: bytes) -> bool:
+        """Append one record; dedups by key within the current epoch.
+
+        Returns True when the bytes landed (False for duplicates and
+        payloads larger than the whole segment).
+        """
+        need = _ENTRY.size + len(key) + len(payload)
+        with self._lock:
+            if key in self._keys:
+                self._inc("shm.dups")
+                return False
+            if need > self._seg.size - HEADER_BYTES:
+                self._inc("shm.oversize")
+                return False
+            if self._used + need > self._seg.size:
+                self._reset_locked("shm.resets")
+            buf = self._seg.buf
+            off = self._used
+            _ENTRY.pack_into(buf, off, len(key), len(payload))
+            buf[off + _ENTRY.size : off + _ENTRY.size + len(key)] = key
+            buf[off + _ENTRY.size + len(key) : off + need] = payload
+            # Publish the new used-offset only after the entry bytes
+            # are in place -- readers never scan past it.
+            self._used = off + need
+            struct.pack_into("<Q", buf, _USED_OFF, self._used)
+            self._keys.add(key)
+            self._entries += 1
+            self._inc("shm.appends")
+            self._inc("shm.append_bytes", len(payload))
+            return True
+
+    def contains(self, key: bytes) -> bool:
+        with self._lock:
+            return key in self._keys
+
+    def invalidate(self) -> None:
+        """Evict everything (a served file changed or was dropped)."""
+        with self._lock:
+            self._reset_locked("shm.invalidations")
+
+    def _reset_locked(self, counter: str) -> None:
+        # Epoch first: readers holding stale offsets must notice the
+        # flip before (or after -- they re-check) the region is reused.
+        self._epoch += 1
+        struct.pack_into("<Q", self._seg.buf, _EPOCH_OFF, self._epoch)
+        self._used = HEADER_BYTES
+        struct.pack_into("<Q", self._seg.buf, _USED_OFF, self._used)
+        self._keys.clear()
+        self._entries = 0
+        self._inc(counter)
+
+    # ---- introspection -------------------------------------------------
+
+    def stats(self) -> Dict:
+        with self._lock:
+            return {
+                "name": self._seg.name,
+                "size": self._seg.size,
+                "used": self._used,
+                "entries": self._entries,
+                "epoch": self._epoch,
+            }
+
+    def reader(self, metrics: Optional[MetricsRegistry] = None) -> "ShmReader":
+        """An in-process reader over the same segment (parent fast path
+        and tests; workers attach by :attr:`name`)."""
+        return ShmReader(self._seg, metrics=metrics, owns_segment=False)
+
+    def close(self) -> None:
+        """Release and unlink the segment (parent owns its lifetime)."""
+        try:
+            self._seg.close()
+        except (OSError, ValueError, BufferError):
+            pass
+        try:
+            self._seg.unlink()
+        except (OSError, ValueError, FileNotFoundError):
+            pass
+
+    def _inc(self, name: str, amount: int = 1) -> None:
+        self.metrics.inc(name, amount)
+
+
+class ShmReader:
+    """A lock-free reader with a private incrementally-built index."""
+
+    def __init__(
+        self,
+        segment,
+        metrics: Optional[MetricsRegistry] = None,
+        owns_segment: bool = True,
+    ):
+        self._seg = segment
+        self._owns = owns_segment
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._index: Dict[bytes, Tuple[int, int]] = {}
+        self._scanned = HEADER_BYTES
+        self._epoch_seen = 0
+
+    @classmethod
+    def attach(
+        cls, name: Optional[str], metrics: Optional[MetricsRegistry] = None
+    ) -> Optional["ShmReader"]:
+        """Attach to a parent's segment by name; ``None`` on failure."""
+        if not name:
+            return None
+        try:
+            try:
+                seg = _shared_memory().SharedMemory(name=name, track=False)
+            except TypeError:  # py < 3.13: no track= keyword
+                seg = _shared_memory().SharedMemory(name=name)
+                cls._drop_attach_tracking(seg)
+        except Exception:  # noqa: BLE001 - fall back to private caches
+            return None
+        return cls(seg, metrics=metrics)
+
+    @staticmethod
+    def _drop_attach_tracking(seg) -> None:
+        """Pre-3.13 registers attaches with the resource tracker; a
+        spawn-started process would then unlink the parent's segment
+        when it exits.  Fork workers share the parent's tracker, where
+        the duplicate registration is an idempotent set-add and must
+        stay (unregistering would cancel the parent's own entry)."""
+        try:
+            import multiprocessing as mp
+            from multiprocessing import resource_tracker
+
+            if mp.get_start_method(allow_none=True) != "fork":
+                resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:  # noqa: BLE001
+            pass
+
+    def _epoch(self) -> int:
+        return struct.unpack_from("<Q", self._seg.buf, _EPOCH_OFF)[0]
+
+    def _used(self) -> int:
+        return struct.unpack_from("<Q", self._seg.buf, _USED_OFF)[0]
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """The payload appended under ``key``, or None.
+
+        Epoch-validated: the copy is only returned when the epoch did
+        not change across the lookup, so a concurrent reset can never
+        surface torn bytes.
+        """
+        for _ in range(2):
+            epoch = self._epoch()
+            if epoch != self._epoch_seen:
+                self._index.clear()
+                self._scanned = HEADER_BYTES
+                self._epoch_seen = epoch
+            self._scan_to(self._used())
+            rec = self._index.get(key)
+            if rec is None:
+                if self._epoch() == epoch:
+                    self.metrics.inc("shm.misses")
+                    return None
+                continue  # reset raced the scan: rebuild and retry
+            off, length = rec
+            payload = bytes(self._seg.buf[off : off + length])
+            if self._epoch() == epoch:
+                self.metrics.inc("shm.hits")
+                return payload
+        self.metrics.inc("shm.misses")
+        return None
+
+    def _scan_to(self, used: int) -> None:
+        buf = self._seg.buf
+        off = self._scanned
+        limit = min(used, self._seg.size)
+        while off + _ENTRY.size <= limit:
+            klen, plen = _ENTRY.unpack_from(buf, off)
+            end = off + _ENTRY.size + klen + plen
+            if end > limit:
+                break  # published used never splits an entry; stale view
+            key = bytes(buf[off + _ENTRY.size : off + _ENTRY.size + klen])
+            self._index[key] = (off + _ENTRY.size + klen, plen)
+            off = end
+        self._scanned = off
+
+    def stats(self) -> Dict:
+        return {
+            "entries": len(self._index),
+            "epoch": self._epoch_seen,
+            "scanned": self._scanned,
+        }
+
+    def close(self) -> None:
+        self._index.clear()
+        if not self._owns:
+            return
+        try:
+            self._seg.close()
+        except (OSError, ValueError, BufferError):
+            pass

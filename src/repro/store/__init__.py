@@ -21,7 +21,15 @@ from .catalog import (
     ScanResult,
     TraceCatalog,
 )
-from .requests import AnalyzeRequest, QueryRequest, RequestError, StatsRequest
+from .requests import (
+    AnalyzeRequest,
+    CorpusDiffRequest,
+    CorpusHotRequest,
+    CorpusStatsRequest,
+    QueryRequest,
+    RequestError,
+    StatsRequest,
+)
 from .server import TraceServer, canonical_json, serve
 from .store import TraceNotFound, TraceStore
 
@@ -29,6 +37,9 @@ __all__ = [
     "AnalyzeRequest",
     "CatalogFunction",
     "CatalogTrace",
+    "CorpusDiffRequest",
+    "CorpusHotRequest",
+    "CorpusStatsRequest",
     "QueryRequest",
     "RequestError",
     "ScanResult",

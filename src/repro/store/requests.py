@@ -18,6 +18,9 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 __all__ = [
     "AnalyzeRequest",
+    "CorpusDiffRequest",
+    "CorpusHotRequest",
+    "CorpusStatsRequest",
     "QueryRequest",
     "RequestError",
     "StatsRequest",
@@ -204,6 +207,156 @@ class StatsRequest:
         if len(traces) > 1:
             raise RequestError("at most one trace parameter")
         return cls(trace=traces[0] if traces else None)
+
+
+@dataclass(frozen=True)
+class CorpusStatsRequest:
+    """Corpus-level compaction accounting (``GET /corpus/stats``)."""
+
+    def to_dict(self) -> Dict:
+        return {}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CorpusStatsRequest":
+        if not isinstance(data, Mapping):
+            raise RequestError("corpus stats request body must be a JSON object")
+        _reject_unknown(cls, data)
+        return cls()
+
+    @classmethod
+    def from_query(
+        cls, params: Mapping[str, List[str]]
+    ) -> "CorpusStatsRequest":
+        _check_params(cls, params, {})
+        return cls()
+
+
+def _want_top(value) -> int:
+    if value is None:
+        return 10
+    try:
+        top = int(value)
+    except (TypeError, ValueError):
+        raise RequestError("top must be an integer") from None
+    if top < 0:
+        raise RequestError("top must be >= 0")
+    return top
+
+
+def _want_coverage(value) -> float:
+    if value is None:
+        return 0.9
+    try:
+        coverage = float(value)
+    except (TypeError, ValueError):
+        raise RequestError("coverage must be a number") from None
+    if not 0.0 < coverage <= 1.0:
+        raise RequestError("coverage must be in (0, 1]")
+    return coverage
+
+
+@dataclass(frozen=True)
+class CorpusHotRequest:
+    """Hot acyclic paths across ingested runs (``GET /corpus/hot``).
+
+    ``runs``/``functions`` restrict the aggregation (empty = all);
+    ``top`` caps the ranked entries; ``coverage`` is the fraction for
+    the "N paths cover X%" statistic.
+    """
+
+    runs: Tuple[str, ...] = ()
+    functions: Tuple[str, ...] = ()
+    top: int = 10
+    coverage: float = 0.9
+
+    def __post_init__(self):
+        object.__setattr__(self, "runs", _want_names(self.runs, "runs"))
+        object.__setattr__(
+            self, "functions", _want_names(self.functions, "functions")
+        )
+        object.__setattr__(self, "top", _want_top(self.top))
+        object.__setattr__(self, "coverage", _want_coverage(self.coverage))
+
+    def to_dict(self) -> Dict:
+        doc: Dict = {"top": self.top, "coverage": self.coverage}
+        if self.runs:
+            doc["runs"] = list(self.runs)
+        if self.functions:
+            doc["functions"] = list(self.functions)
+        return doc
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CorpusHotRequest":
+        if not isinstance(data, Mapping):
+            raise RequestError("corpus hot request body must be a JSON object")
+        _reject_unknown(cls, data)
+        return cls(
+            runs=_want_names(data.get("runs"), "runs"),
+            functions=_want_names(data.get("functions"), "functions"),
+            top=data.get("top"),
+            coverage=data.get("coverage"),
+        )
+
+    @classmethod
+    def from_query(cls, params: Mapping[str, List[str]]) -> "CorpusHotRequest":
+        _check_params(cls, params, {"run": "runs", "fn": "functions",
+                                    "top": "top", "coverage": "coverage"})
+        for single in ("top", "coverage"):
+            if len(params.get(single, [])) > 1:
+                raise RequestError(f"at most one {single} parameter")
+        return cls(
+            runs=tuple(params.get("run", [])),
+            functions=tuple(params.get("fn", [])),
+            top=(params.get("top") or [None])[0],
+            coverage=(params.get("coverage") or [None])[0],
+        )
+
+
+@dataclass(frozen=True)
+class CorpusDiffRequest:
+    """Compare two ingested runs (``GET /corpus/diff``)."""
+
+    run_a: str
+    run_b: str
+    limit: int = 20
+
+    def __post_init__(self):
+        object.__setattr__(self, "run_a", _want_str(self.run_a, "run_a"))
+        object.__setattr__(self, "run_b", _want_str(self.run_b, "run_b"))
+        limit = _want_limit(self.limit)
+        object.__setattr__(self, "limit", 20 if limit is None else limit)
+
+    def to_dict(self) -> Dict:
+        return {"run_a": self.run_a, "run_b": self.run_b, "limit": self.limit}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CorpusDiffRequest":
+        if not isinstance(data, Mapping):
+            raise RequestError("corpus diff request body must be a JSON object")
+        _reject_unknown(cls, data)
+        for required in ("run_a", "run_b"):
+            if required not in data:
+                raise RequestError(f"corpus diff request needs a {required}")
+        return cls(
+            run_a=data["run_a"],
+            run_b=data["run_b"],
+            limit=data.get("limit"),
+        )
+
+    @classmethod
+    def from_query(cls, params: Mapping[str, List[str]]) -> "CorpusDiffRequest":
+        _check_params(cls, params, {"a": "run_a", "b": "run_b",
+                                    "limit": "limit"})
+        for single in ("a", "b", "limit"):
+            if len(params.get(single, [])) > 1:
+                raise RequestError(f"at most one {single} parameter")
+        if not params.get("a") or not params.get("b"):
+            raise RequestError("corpus diff needs a and b run parameters")
+        return cls(
+            run_a=params["a"][0],
+            run_b=params["b"][0],
+            limit=(params.get("limit") or [None])[0],
+        )
 
 
 def _check_params(cls, params: Mapping, allowed: Mapping[str, str]) -> None:

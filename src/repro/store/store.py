@@ -20,10 +20,10 @@ produce identical responses.
 
 from __future__ import annotations
 
+import itertools
 import os
 import threading
 import time
-from collections import OrderedDict
 from concurrent.futures import Future
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -32,6 +32,9 @@ from ..compact.qserve import QueryEngine
 from .catalog import CatalogTrace, ScanResult, TraceCatalog
 from .requests import (
     AnalyzeRequest,
+    CorpusDiffRequest,
+    CorpusHotRequest,
+    CorpusStatsRequest,
     QueryRequest,
     RequestError,
     StatsRequest,
@@ -71,6 +74,7 @@ class TraceStore:
         cache_bytes: Optional[int] = None,
         catalog_path: Optional[PathLike] = None,
         jobs: int = 1,
+        corpus: Optional[PathLike] = None,
     ) -> None:
         from ..api import Session
 
@@ -85,7 +89,16 @@ class TraceStore:
         self.catalog = TraceCatalog(
             self.root / CATALOG_NAME if catalog_path is None else catalog_path
         )
-        self._lru: "OrderedDict[str, str]" = OrderedDict()  # trace -> path
+        # Recency tracking for the global budget.  Warm hits must stay
+        # lock-free, so instead of an OrderedDict (whose move_to_end
+        # needs the lock) each touch writes a monotonically increasing
+        # stamp: two GIL-atomic dict stores.  The eviction pass (cold
+        # path, under the lock) sorts by stamp; it always iterates
+        # list()-snapshots so concurrent stamp writes cannot invalidate
+        # its iterators.
+        self._lru_paths: Dict[str, str] = {}  # trace -> path
+        self._stamps: Dict[str, int] = {}  # trace -> touch stamp
+        self._clock = itertools.count()
         # Hot-path memo of catalog rows: the SQLite catalog is the
         # durable index for discovery and rescan; per-request lookups
         # are served from memory and dropped whenever a scan changes
@@ -94,6 +107,10 @@ class TraceStore:
         self._functions: Dict[str, List[str]] = {}
         self._function_sets: Dict[str, frozenset] = {}
         self._inflight: Dict[Tuple[str, str], Future] = {}
+        # Optional attached corpus (the /corpus/* endpoints); opened
+        # lazily so a store without corpus traffic never touches it.
+        self._corpus_root = None if corpus is None else Path(corpus)
+        self._corpus = None
         self._lock = threading.Lock()
         # The registry is lock-free by design; the store serves many
         # threads, so its own metric writes go through this lock.
@@ -122,9 +139,14 @@ class TraceStore:
     def close(self) -> None:
         """Evict every engine this store warmed and close the catalog."""
         with self._lock:
-            paths, self._lru = list(self._lru.values()), OrderedDict()
+            paths = list(self._lru_paths.values())
+            self._lru_paths = {}
+            self._stamps = {}
+            corpus, self._corpus = self._corpus, None
         for path in paths:
             self._session.evict(path)
+        if corpus is not None:
+            corpus.close()
         self.catalog.close()
         if self._owns_session:
             self._session.close()
@@ -158,11 +180,12 @@ class TraceStore:
                 self._function_sets.clear()
                 stale = [
                     (trace, path)
-                    for trace, path in self._lru.items()
+                    for trace, path in list(self._lru_paths.items())
                     if path not in live
                 ]
                 for trace, _path in stale:
-                    del self._lru[trace]
+                    del self._lru_paths[trace]
+                    self._stamps.pop(trace, None)
             for _trace, path in stale:
                 self._session.evict(path)
         return result
@@ -207,9 +230,10 @@ class TraceStore:
             self._touch(entry, enforce=decoded)
         finally:
             elapsed_ms = (time.perf_counter() - t0) * 1000.0
+            metrics = self._session.metrics
             with self._metrics_lock:
-                self.metrics.inc("store.requests.query")
-                self.metrics.add_ms("store.query", elapsed_ms)
+                metrics.inc("store.requests.query")
+                metrics.add_ms("store.query", elapsed_ms)
         return {"trace": entry.trace, "functions": results}
 
     def analyze(self, request: AnalyzeRequest) -> Dict:
@@ -266,6 +290,102 @@ class TraceStore:
         doc["warm"] = self._is_warm(entry.path)
         return doc
 
+    def healthz(self) -> Dict:
+        """Liveness document (``GET /healthz``): catalog counts only.
+
+        Deliberately cheap -- load balancers and the bench harness poll
+        it while waiting for readiness, so it must not touch any trace
+        file or decode anything.
+        """
+        rows = self.catalog.traces()
+        doc = {
+            "status": "ok",
+            "traces": len(rows),
+            "functions": sum(t.functions for t in rows),
+        }
+        if self._corpus_root is not None:
+            doc["corpus_runs"] = len(self.corpus().runs())
+        return doc
+
+    # ---- corpus verbs --------------------------------------------------
+
+    def corpus(self):
+        """The attached :class:`~repro.corpus.TraceCorpus` (lazy).
+
+        Raises :class:`TraceNotFound` (HTTP 404) when the store was
+        built without ``corpus=`` -- an unattached corpus is a missing
+        resource, not a malformed request.
+        """
+        if self._corpus_root is None:
+            raise TraceNotFound("no corpus attached to this store")
+        with self._lock:
+            if self._corpus is None:
+                from ..corpus import TraceCorpus
+
+                self._corpus = TraceCorpus(
+                    self._corpus_root, session=self._session
+                )
+            return self._corpus
+
+    def corpus_stats(self, request: Optional[CorpusStatsRequest] = None) -> Dict:
+        """Corpus accounting (``GET /corpus/stats``), JSON-ready."""
+        request = CorpusStatsRequest() if request is None else request
+        if not isinstance(request, CorpusStatsRequest):
+            raise RequestError("corpus_stats() takes a CorpusStatsRequest")
+        self._inc("store.requests.corpus_stats")
+        t0 = time.perf_counter()
+        try:
+            return self.corpus().stats()
+        finally:
+            self._time("store.corpus_stats", t0)
+
+    def corpus_hot(self, request: Optional[CorpusHotRequest] = None) -> Dict:
+        """Cross-run hot paths (``GET /corpus/hot``), JSON-ready."""
+        request = CorpusHotRequest() if request is None else request
+        if not isinstance(request, CorpusHotRequest):
+            raise RequestError("corpus_hot() takes a CorpusHotRequest")
+        from ..corpus import hot_doc
+
+        self._inc("store.requests.corpus_hot")
+        t0 = time.perf_counter()
+        try:
+            corpus = self.corpus()
+            for run in request.runs:
+                self._corpus_run(corpus, run)
+            profile = corpus.hot_paths(
+                runs=list(request.runs) or None,
+                functions=list(request.functions) or None,
+            )
+            return hot_doc(profile, top=request.top, coverage=request.coverage)
+        finally:
+            self._time("store.corpus_hot", t0)
+
+    def corpus_diff(self, request: CorpusDiffRequest) -> Dict:
+        """Run-pair comparison (``GET /corpus/diff``), JSON-ready."""
+        if not isinstance(request, CorpusDiffRequest):
+            raise RequestError("corpus_diff() takes a CorpusDiffRequest")
+        from ..corpus import diff_doc
+
+        self._inc("store.requests.corpus_diff")
+        t0 = time.perf_counter()
+        try:
+            corpus = self.corpus()
+            for run in (request.run_a, request.run_b):
+                self._corpus_run(corpus, run)
+            delta = corpus.diff(request.run_a, request.run_b)
+            return diff_doc(delta, limit=request.limit)
+        finally:
+            self._time("store.corpus_diff", t0)
+
+    @staticmethod
+    def _corpus_run(corpus, name: str):
+        try:
+            return corpus.run(name)
+        except KeyError as exc:
+            raise TraceNotFound(
+                exc.args[0] if exc.args else f"no run {name!r} in corpus"
+            ) from None
+
     # ---- cache accounting ---------------------------------------------
 
     def metrics_snapshot(self) -> Dict:
@@ -287,7 +407,7 @@ class TraceStore:
     def cache_stats(self) -> Dict:
         """Global budget occupancy plus the engines' aggregate traffic."""
         with self._lock:
-            paths = list(self._lru.values())
+            paths = list(self._lru_paths.values())
         per_engine = []
         for path in paths:
             engine = self._session._engines.get(path)
@@ -314,36 +434,42 @@ class TraceStore:
 
         ``enforce=False`` skips the budget pass -- pure cache hits
         cannot have grown any engine's footprint, so recency is all
-        that needs recording.
+        that needs recording: two atomic dict stores, no lock.  The
+        warm fast path stays lock-free in the parent.
         """
         if not enforce:
-            with self._lock:
-                self._lru[entry.trace] = entry.path
-                self._lru.move_to_end(entry.trace)
+            self._lru_paths[entry.trace] = entry.path
+            self._stamps[entry.trace] = next(self._clock)
             return
         evict: List[str] = []
         with self._lock:
-            self._lru[entry.trace] = entry.path
-            self._lru.move_to_end(entry.trace)
+            self._lru_paths[entry.trace] = entry.path
+            self._stamps[entry.trace] = next(self._clock)
             total = 0
-            for path in self._lru.values():
+            for path in list(self._lru_paths.values()):
                 engine = self._session._engines.get(path)
                 if engine is not None:
                     total += engine.cache_stats()["bytes"]
             # Evict least-recently-queried files until within budget,
             # always sparing the file just touched.
-            victims = iter(list(self._lru.items())[:-1])
+            victims = iter(sorted(
+                (
+                    (self._stamps.get(trace, -1), trace, path)
+                    for trace, path in list(self._lru_paths.items())
+                    if trace != entry.trace
+                )
+            ))
             while total > self.cache_bytes:
                 try:
-                    trace, path = next(victims)
+                    _stamp, trace, path = next(victims)
                 except StopIteration:
                     break
                 engine = self._session._engines.get(path)
+                self._lru_paths.pop(trace, None)
+                self._stamps.pop(trace, None)
                 if engine is None:
-                    del self._lru[trace]
                     continue
                 total -= engine.cache_stats()["bytes"]
-                del self._lru[trace]
                 evict.append(path)
         for path in evict:
             self._session.evict(path)
@@ -445,7 +571,8 @@ class TraceStore:
             self._entries.pop(entry.trace, None)
             self._functions.pop(entry.trace, None)
             self._function_sets.pop(entry.trace, None)
-            self._lru.pop(entry.trace, None)
+            self._lru_paths.pop(entry.trace, None)
+            self._stamps.pop(entry.trace, None)
         refreshed = self.catalog.trace(entry.trace)
         if refreshed is None:
             raise TraceNotFound(f"trace {entry.trace!r} no longer in store")
@@ -469,7 +596,7 @@ class TraceStore:
 
     def _resolve_functions(
         self, entry: CatalogTrace, names: Tuple[str, ...]
-    ) -> List[str]:
+    ) -> Union[List[str], Tuple[str, ...]]:
         known = self._functions.get(entry.trace)
         if known is None:
             known = [f.name for f in self.catalog.functions(entry.trace)]
@@ -486,7 +613,7 @@ class TraceStore:
                 raise TraceNotFound(
                     f"function {name!r} not in trace {entry.trace!r}"
                 )
-        return list(names)
+        return names
 
     def _program_path(
         self, entry: CatalogTrace, program: Optional[str]

@@ -329,3 +329,33 @@ class TestCli:
 
         assert main(["corpus", "diff", str(cli_root), "li-a", "nosuch"]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_hot_json_is_the_daemon_document(self, cli_root, capsys):
+        """``corpus hot --json`` and ``GET /corpus/hot`` share one shape."""
+        import json
+
+        from repro.cli import main
+        from repro.corpus import TraceCorpus, hot_doc
+
+        assert main(
+            ["corpus", "hot", str(cli_root), "--top", "3", "--json"]
+        ) == 0
+        out = capsys.readouterr().out
+        with TraceCorpus(cli_root) as corpus:
+            expected = hot_doc(corpus.hot_paths(), top=3)
+        assert json.loads(out) == expected
+
+    def test_diff_json_is_the_daemon_document(self, cli_root, capsys):
+        import json
+
+        from repro.cli import main
+        from repro.corpus import TraceCorpus, diff_doc
+
+        rc = main(
+            ["corpus", "diff", str(cli_root), "li-a", "li-c", "--json"]
+        )
+        out = capsys.readouterr().out
+        with TraceCorpus(cli_root) as corpus:
+            delta = corpus.diff("li-a", "li-c")
+        assert rc == 1  # still signals "runs differ" in json mode
+        assert json.loads(out) == diff_doc(delta)

@@ -1,0 +1,224 @@
+"""The shared-memory decoded-record cache: segment round-trips, epoch
+safety under reset/invalidate, graceful fallbacks, and cross-worker
+byte-identity through the pool.
+
+The segment is append-only with a parent-owned epoch, so every test
+here reduces to two promises: a hit returns the *exact* bytes the
+parent appended (never torn, never stale across an epoch flip), and
+any failure to create/attach degrades to ``None`` -- callers keep
+their private caches and results do not change by a byte.
+"""
+
+import pytest
+
+from repro.compact import compact_wpp, write_twpp
+from repro.compact.qserve import QueryEngine
+from repro.obs import MetricsRegistry
+from repro.parallel import WorkerPool, wire
+from repro.parallel import shm as shm_mod
+from repro.parallel.shm import HEADER_BYTES, ShmCache, ShmReader, shm_key
+from repro.trace import collect_wpp, partition_wpp
+from repro.workloads.specs import workload
+
+
+def make_cache(budget: int, metrics: MetricsRegistry = None) -> ShmCache:
+    cache = ShmCache.create(budget, metrics=metrics)
+    if cache is None:
+        pytest.skip("no usable shared memory in this environment")
+    return cache
+
+
+# ---------------------------------------------------------------------------
+# segment semantics
+
+
+class TestSegment:
+    def test_round_trip(self):
+        cache = make_cache(1 << 20)
+        try:
+            assert cache.put(b"k1", b"payload-one")
+            assert cache.put(b"k2", b"payload-two")
+            reader = cache.reader()
+            assert reader.get(b"k1") == b"payload-one"
+            assert reader.get(b"k2") == b"payload-two"
+            assert reader.get(b"missing") is None
+            assert reader.stats()["entries"] == 2
+            stats = cache.stats()
+            assert stats["entries"] == 2
+            assert stats["used"] > HEADER_BYTES
+        finally:
+            cache.close()
+
+    def test_duplicate_keys_append_once(self):
+        metrics = MetricsRegistry()
+        cache = make_cache(1 << 20, metrics=metrics)
+        try:
+            assert cache.put(b"k", b"v")
+            assert not cache.put(b"k", b"v")
+            assert cache.contains(b"k")
+            assert cache.stats()["entries"] == 1
+            counters = metrics.to_dict()["counters"]
+            assert counters["shm.appends"] == 1
+            assert counters["shm.dups"] == 1
+        finally:
+            cache.close()
+
+    def test_overflow_resets_epoch(self):
+        metrics = MetricsRegistry()
+        cache = make_cache(0, metrics=metrics)  # clamped to _MIN_SEGMENT
+        try:
+            chunk = b"x" * (40 << 10)
+            assert cache.put(b"a", chunk)
+            reader = cache.reader()
+            assert reader.get(b"a") == chunk
+            epoch_before = cache.stats()["epoch"]
+            assert cache.put(b"b", chunk)  # would overflow: resets first
+            assert cache.stats()["epoch"] == epoch_before + 1
+            # The old entry is gone, the new one readable, and the
+            # reader noticed the flip instead of serving stale bytes.
+            assert reader.get(b"a") is None
+            assert reader.get(b"b") == chunk
+            assert metrics.to_dict()["counters"]["shm.resets"] == 1
+        finally:
+            cache.close()
+
+    def test_invalidate_evicts_everything(self):
+        metrics = MetricsRegistry()
+        cache = make_cache(1 << 20, metrics=metrics)
+        try:
+            cache.put(b"k", b"v")
+            reader = cache.reader()
+            assert reader.get(b"k") == b"v"
+            cache.invalidate()
+            assert reader.get(b"k") is None
+            assert not cache.contains(b"k")
+            assert cache.stats()["entries"] == 0
+            assert metrics.to_dict()["counters"]["shm.invalidations"] == 1
+            # The segment is reusable after the flip.
+            assert cache.put(b"k2", b"v2")
+            assert reader.get(b"k2") == b"v2"
+        finally:
+            cache.close()
+
+    def test_oversize_payload_rejected(self):
+        metrics = MetricsRegistry()
+        cache = make_cache(0, metrics=metrics)
+        try:
+            huge = b"x" * (cache.size + 1)
+            assert not cache.put(b"k", huge)
+            assert metrics.to_dict()["counters"]["shm.oversize"] == 1
+            assert cache.stats()["entries"] == 0
+        finally:
+            cache.close()
+
+    def test_reader_hit_miss_counters(self):
+        cache = make_cache(1 << 20)
+        try:
+            cache.put(b"k", b"v")
+            metrics = MetricsRegistry()
+            reader = cache.reader(metrics=metrics)
+            reader.get(b"k")
+            reader.get(b"nope")
+            counters = metrics.to_dict()["counters"]
+            assert counters["shm.hits"] == 1
+            assert counters["shm.misses"] == 1
+        finally:
+            cache.close()
+
+
+# ---------------------------------------------------------------------------
+# fallbacks
+
+
+class TestFallbacks:
+    def test_attach_without_name_is_none(self):
+        assert ShmReader.attach(None) is None
+        assert ShmReader.attach("") is None
+
+    def test_attach_unknown_segment_is_none(self):
+        assert ShmReader.attach("repro-shm-does-not-exist") is None
+
+    def test_create_failure_is_none(self, monkeypatch):
+        def broken():
+            raise ImportError("no shared memory here")
+
+        monkeypatch.setattr(shm_mod, "_shared_memory", broken)
+        assert ShmCache.create(1 << 20) is None
+
+
+# ---------------------------------------------------------------------------
+# through the pool
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    """(twpp path, serial {name: traces} reference)."""
+    program, _spec = workload("perl-like", scale=0.1)
+    part = partition_wpp(collect_wpp(program))
+    compacted, _stats = compact_wpp(part)
+    path = tmp_path_factory.mktemp("shm") / "w.twpp"
+    write_twpp(compacted, path)
+    with QueryEngine(path) as engine:
+        reference = engine.traces_many(engine.function_names(), threads=1)
+    return str(path), reference
+
+
+class TestPoolIntegration:
+    def test_cross_worker_bytes_identical(self, artifact):
+        path, reference = artifact
+        metrics = MetricsRegistry()
+        with WorkerPool(2, metrics=metrics) as pool:
+            if pool.inline:
+                pytest.skip("no subprocess support in this environment")
+            if not pool.shm_enabled:
+                pytest.skip("no usable shared memory in this environment")
+            names = sorted(reference)[:3]
+            for name in names:
+                first = pool.submit(("traces", path, name), worker=0).result()
+                # Worker 1 never decoded this function; its only warm
+                # source is the segment worker 0's decode populated.
+                second = pool.submit(("traces", path, name), worker=1).result()
+                assert second == first
+                assert wire.decode_traces(second) == reference[name]
+            assert pool.shm_stats()["entries"] >= len(names)
+            stats = pool.worker_stats()
+            hits = [
+                s["metrics"]["counters"].get("shm.hits", 0) for s in stats
+            ]
+            assert sum(hits) >= len(names)
+            assert all(s["shm"] is not None for s in stats)
+            counters = metrics.to_dict()["counters"]
+            assert counters["shm.appends"] >= len(names)
+
+    def test_single_worker_pool_has_no_segment(self, artifact):
+        path, reference = artifact
+        name = sorted(reference)[0]
+        with WorkerPool(1) as pool:
+            assert not pool.shm_enabled
+            assert pool.shm_stats() is None
+            payload = pool.submit(("traces", path, name)).result()
+            assert wire.decode_traces(payload) == reference[name]
+
+    def test_shm_bytes_zero_disables_segment(self, artifact):
+        path, reference = artifact
+        name = sorted(reference)[0]
+        with WorkerPool(2, shm_bytes=0) as pool:
+            assert not pool.shm_enabled
+            payload = pool.submit(("traces", path, name)).result()
+            assert wire.decode_traces(payload) == reference[name]
+
+    def test_evict_invalidates_segment(self, artifact):
+        path, reference = artifact
+        name = sorted(reference)[0]
+        with WorkerPool(2) as pool:
+            if pool.inline:
+                pytest.skip("no subprocess support in this environment")
+            if not pool.shm_enabled:
+                pytest.skip("no usable shared memory in this environment")
+            pool.submit(("traces", path, name), worker=0).result()
+            epoch = pool.shm_stats()["epoch"]
+            pool.evict(path)
+            assert pool.shm_stats()["epoch"] == epoch + 1
+            assert pool.shm_stats()["entries"] == 0
+            payload = pool.submit(("traces", path, name), worker=1).result()
+            assert wire.decode_traces(payload) == reference[name]

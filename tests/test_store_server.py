@@ -1,7 +1,9 @@
 """Tests for the HTTP serving layer: endpoint round-trips must be
-byte-identical to in-process TraceStore calls, plus the 4xx surface."""
+byte-identical to in-process TraceStore calls, plus the 4xx surface,
+keep-alive connection reuse, request framing, and graceful shutdown."""
 
 import json
+import socket
 import threading
 import urllib.error
 import urllib.request
@@ -11,11 +13,15 @@ import pytest
 from repro.api import Session
 from repro.store import (
     AnalyzeRequest,
+    CorpusDiffRequest,
+    CorpusHotRequest,
+    CorpusStatsRequest,
     QueryRequest,
     StatsRequest,
     TraceServer,
     canonical_json,
 )
+from repro.store.server import MAX_BODY_BYTES
 
 from .test_store import write_trace
 
@@ -37,6 +43,48 @@ def served(tmp_path_factory):
 def get(server, path):
     with urllib.request.urlopen(f"{server.url}{path}") as resp:
         return resp.status, resp.read()
+
+
+# ---------------------------------------------------------------------------
+# raw-socket helpers: urllib sends ``Connection: close`` per request, so
+# everything keep-alive or framing-shaped talks HTTP/1.1 by hand.
+
+
+def raw_conn(server):
+    return socket.create_connection((server.host, server.port), timeout=10)
+
+
+def send_get(sock, path, headers=()):
+    lines = [f"GET {path} HTTP/1.1", "Host: test"]
+    lines.extend(headers)
+    sock.sendall(("\r\n".join(lines) + "\r\n\r\n").encode("ascii"))
+
+
+def read_response(sock, buf=b""):
+    """Parse one response off the socket; returns
+    ``(status, headers, body, leftover)`` so callers can keep reading
+    pipelined responses from ``leftover``."""
+    while b"\r\n\r\n" not in buf:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed mid-response")
+        buf += chunk
+    head, rest = buf.split(b"\r\n\r\n", 1)
+    lines = head.split(b"\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        key, _, value = line.partition(b":")
+        headers[key.strip().lower().decode("ascii")] = value.strip().decode(
+            "ascii"
+        )
+    length = int(headers.get("content-length", "0"))
+    while len(rest) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed mid-body")
+        rest += chunk
+    return status, headers, rest[:length], rest[length:]
 
 
 def get_error(server, path):
@@ -234,6 +282,251 @@ class TestConcurrencyAndRescan:
             assert [t["trace"] for t in json.loads(body)["traces"]] == [
                 "li-like"
             ]
+        finally:
+            server.stop()
+            store.close()
+            session.close()
+
+
+class TestKeepAlive:
+    def expected(self, store, path):
+        if path == "/traces":
+            return canonical_json(store.traces()) + b"\n"
+        trace = path.split("trace=")[1].split("&")[0]
+        return canonical_json(store.query(QueryRequest(trace=trace))) + b"\n"
+
+    def test_sequential_requests_reuse_connection(self, served):
+        server, store, _root = served
+        before = store.metrics.counter("serve.keepalive_requests")
+        paths = ["/traces", "/query?trace=li-like", "/traces",
+                 "/query?trace=perl-like", "/traces"]
+        sock = raw_conn(server)
+        try:
+            leftover = b""
+            for path in paths:
+                send_get(sock, path)
+                status, headers, body, leftover = read_response(
+                    sock, leftover
+                )
+                assert status == 200
+                assert headers.get("connection") == "keep-alive"
+                assert body == self.expected(store, path)
+        finally:
+            sock.close()
+        after = store.metrics.counter("serve.keepalive_requests")
+        assert after - before >= len(paths) - 1
+
+    def test_pipelined_requests_answer_in_order(self, served):
+        server, store, _root = served
+        paths = ["/query?trace=li-like", "/traces", "/query?trace=perl-like"]
+        sock = raw_conn(server)
+        try:
+            batch = b"".join(
+                f"GET {p} HTTP/1.1\r\nHost: test\r\n\r\n".encode("ascii")
+                for p in paths
+            )
+            sock.sendall(batch)
+            leftover = b""
+            for path in paths:
+                status, _headers, body, leftover = read_response(
+                    sock, leftover
+                )
+                assert status == 200
+                assert body == self.expected(store, path)
+        finally:
+            sock.close()
+
+    def test_concurrent_keepalive_clients_byte_identity(self, served):
+        server, store, _root = served
+        paths = ["/traces", "/query?trace=li-like", "/query?trace=perl-like"]
+        want = {path: self.expected(store, path) for path in paths}
+        n_clients, rounds = 4, 8
+        barrier = threading.Barrier(n_clients)
+        failures = []
+
+        def client():
+            sock = raw_conn(server)
+            try:
+                barrier.wait()
+                leftover = b""
+                for i in range(rounds):
+                    path = paths[i % len(paths)]
+                    send_get(sock, path)
+                    status, _headers, body, leftover = read_response(
+                        sock, leftover
+                    )
+                    if status != 200 or body != want[path]:
+                        failures.append((path, status))
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                failures.append(repr(exc))
+            finally:
+                sock.close()
+
+        threads = [threading.Thread(target=client) for _ in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+
+    def test_connection_close_header_honored(self, served):
+        server, store, _root = served
+        sock = raw_conn(server)
+        try:
+            send_get(sock, "/traces", headers=("Connection: close",))
+            status, headers, body, _ = read_response(sock)
+            assert status == 200
+            assert headers.get("connection") == "close"
+            assert body == canonical_json(store.traces()) + b"\n"
+            assert sock.recv(1) == b""  # server side actually closed
+        finally:
+            sock.close()
+
+
+class TestFraming:
+    def test_malformed_content_length_is_400(self, served):
+        server, _store, _root = served
+        sock = raw_conn(server)
+        try:
+            sock.sendall(
+                b"POST /analyze HTTP/1.1\r\nHost: test\r\n"
+                b"Content-Length: banana\r\n\r\n"
+            )
+            status, headers, body, _ = read_response(sock)
+            assert status == 400
+            assert "Content-Length" in json.loads(body)["error"]
+            assert headers.get("connection") == "close"
+            assert sock.recv(1) == b""
+        finally:
+            sock.close()
+
+    def test_oversized_body_is_400(self, served):
+        server, _store, _root = served
+        sock = raw_conn(server)
+        try:
+            sock.sendall(
+                b"POST /analyze HTTP/1.1\r\nHost: test\r\n"
+                b"Content-Length: %d\r\n\r\n" % (MAX_BODY_BYTES + 1)
+            )
+            # The server rejects on the declared length alone -- no
+            # need to stream a megabyte to get told no.
+            status, _headers, body, _ = read_response(sock)
+            assert status == 400
+            assert "body" in json.loads(body)["error"]
+        finally:
+            sock.close()
+
+    def test_malformed_request_line_is_400(self, served):
+        server, _store, _root = served
+        sock = raw_conn(server)
+        try:
+            sock.sendall(b"GARBAGE\r\n\r\n")
+            status, _headers, _body, _ = read_response(sock)
+            assert status == 400
+        finally:
+            sock.close()
+
+
+class TestHealthz:
+    def test_matches_store_and_is_corpus_free(self, served):
+        server, store, _root = served
+        status, body = get(server, "/healthz")
+        assert status == 200
+        assert body == canonical_json(store.healthz()) + b"\n"
+        doc = json.loads(body)
+        assert doc["status"] == "ok" and doc["traces"] == 2
+        assert "corpus_runs" not in doc  # no corpus attached here
+
+    def test_corpus_routes_404_without_corpus(self, served):
+        server, _store, _root = served
+        code, doc = get_error(server, "/corpus/stats")
+        assert code == 404 and "corpus" in doc["error"]
+
+
+@pytest.fixture(scope="module")
+def corpus_served(tmp_path_factory):
+    """A store with a two-run corpus attached, served over HTTP."""
+    root = tmp_path_factory.mktemp("corpus-served")
+    write_trace(root, "li-like")
+    write_trace(root, "perl-like", with_ir=False)
+    session = Session()
+    with session.corpus(root / "corpus") as corpus:
+        corpus.ingest_runs(
+            [root / "li-like.twpp", root / "perl-like.twpp"]
+        )
+    store = session.store(root, corpus=root / "corpus")
+    server = TraceServer(store).start()
+    yield server, store
+    server.stop()
+    store.close()
+    session.close()
+
+
+class TestCorpusEndpoints:
+    def test_stats_matches_store(self, corpus_served):
+        server, store = corpus_served
+        status, body = get(server, "/corpus/stats")
+        assert status == 200
+        expected = store.corpus_stats(CorpusStatsRequest())
+        assert body == canonical_json(expected) + b"\n"
+
+    def test_hot_matches_store(self, corpus_served):
+        server, store = corpus_served
+        status, body = get(server, "/corpus/hot?top=3&coverage=0.8")
+        assert status == 200
+        expected = store.corpus_hot(CorpusHotRequest(top=3, coverage=0.8))
+        assert body == canonical_json(expected) + b"\n"
+
+    def test_diff_matches_store(self, corpus_served):
+        server, store = corpus_served
+        status, body = get(server, "/corpus/diff?a=li-like&b=perl-like")
+        assert status == 200
+        expected = store.corpus_diff(
+            CorpusDiffRequest(run_a="li-like", run_b="perl-like")
+        )
+        assert body == canonical_json(expected) + b"\n"
+
+    def test_healthz_counts_runs(self, corpus_served):
+        server, store = corpus_served
+        status, body = get(server, "/healthz")
+        assert status == 200
+        assert body == canonical_json(store.healthz()) + b"\n"
+        assert json.loads(body)["corpus_runs"] == 2
+
+    def test_unknown_run_is_404(self, corpus_served):
+        server, _store = corpus_served
+        code, _doc = get_error(server, "/corpus/diff?a=li-like&b=nope")
+        assert code == 404
+
+    def test_missing_diff_param_is_400(self, corpus_served):
+        server, _store = corpus_served
+        code, doc = get_error(server, "/corpus/diff?a=li-like")
+        assert code == 400 and "b" in doc["error"]
+
+    def test_bad_top_is_400(self, corpus_served):
+        server, _store = corpus_served
+        code, _doc = get_error(server, "/corpus/hot?top=banana")
+        assert code == 400
+
+
+class TestGracefulShutdown:
+    def test_request_stop_drains_and_refuses_new_connections(self, tmp_path):
+        write_trace(tmp_path, "li-like")
+        session = Session()
+        store = session.store(tmp_path)
+        server = TraceServer(store).start()
+        try:
+            # An idle keep-alive connection is open when stop arrives.
+            sock = raw_conn(server)
+            send_get(sock, "/traces")
+            status, _headers, body, _ = read_response(sock)
+            assert status == 200
+            host, port = server.host, server.port
+            server.stop()
+            sock.close()
+            with pytest.raises(OSError):
+                socket.create_connection((host, port), timeout=2)
+            assert body == canonical_json(store.traces()) + b"\n"
         finally:
             server.stop()
             store.close()
